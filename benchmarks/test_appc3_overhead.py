@@ -1,0 +1,75 @@
+"""§C.3: the cost of profiling.
+
+Paper (HEURISTIC configuration, tracer on vs off): Setup A averages ~5%
+slowdown across the five pipelines, driven entirely by Transformer/GNMT
+(19%/21%); Setup B is worse (~10% average, 17%/36% on text) because its
+timer syscalls cost more. Tracing overhead grows as per-element work
+shrinks.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.baselines.heuristic import heuristic_config
+from repro.baselines.naive import naive_config
+from repro.host import setup_a, setup_b
+from repro.runtime.executor import run_pipeline
+from repro.workloads import MICROBENCH_WORKLOADS, get_workload
+
+SCALES = {"resnet": 0.1, "rcnn": 0.25, "ssd": 0.25,
+          "transformer": 0.02, "gnmt": 0.02}
+
+
+def run_setup(machine):
+    slowdowns = {}
+    for name in MICROBENCH_WORKLOADS:
+        pipe = heuristic_config(
+            naive_config(get_workload(name).build(scale=SCALES[name])),
+            machine,
+        )
+        off = run_pipeline(pipe, machine, duration=2.5, warmup=0.8,
+                           trace=False)
+        on = run_pipeline(pipe, machine, duration=2.5, warmup=0.8,
+                          trace=True)
+        slowdowns[name] = 1.0 - on.throughput / off.throughput
+    return slowdowns
+
+
+@pytest.mark.parametrize("label,machine_factory,text_floor,vision_cap", [
+    ("setup_a", setup_a, 0.08, 0.08),
+    ("setup_b", setup_b, 0.12, 0.12),
+])
+def test_appc3_tracing_overhead(once, label, machine_factory,
+                                text_floor, vision_cap):
+    slowdowns = once(run_setup, machine_factory())
+
+    rows = [(name, f"{s:.1%}") for name, s in slowdowns.items()]
+    table = format_table(
+        ("workload", "tracing slowdown"),
+        rows,
+        title=(
+            f"§C.3 — tracer on/off slowdown ({label}; paper A: ~5% avg, "
+            "19-21% text; B: ~10% avg, 17-36% text)"
+        ),
+    )
+    emit(f"appc3_overhead_{label}", table)
+
+    # Vision pipelines barely notice the tracer...
+    for name in ("resnet", "rcnn", "ssd"):
+        assert slowdowns[name] <= vision_cap, (name, slowdowns[name])
+    # ...text pipelines pay a large per-element tax.
+    for name in ("transformer", "gnmt"):
+        assert slowdowns[name] >= text_floor, (name, slowdowns[name])
+    # Overhead grows as per-element work shrinks.
+    assert min(slowdowns["transformer"], slowdowns["gnmt"]) > max(
+        slowdowns["resnet"], slowdowns["ssd"]
+    )
+
+
+def test_appc3_setup_b_pays_more_on_text(once):
+    """Setup B's pricier timers hit the text pipelines hardest."""
+    a = once(run_setup, setup_a())
+    b = run_setup(setup_b())
+    assert b["gnmt"] >= a["gnmt"]
+    assert b["transformer"] >= a["transformer"] * 0.9

@@ -1,0 +1,44 @@
+"""Figure 3: CDF of per-step Next latency across the fleet.
+
+Paper: "for 92% of jobs Next latency exceeds 50µs, for 62% of jobs it
+exceeds 1ms, and for 16% of jobs it exceeds 100ms."
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.fleet import FleetConfig, generate_fleet, summarize
+from repro.fleet.analysis import latency_cdf
+
+
+def run_experiment():
+    jobs = generate_fleet(FleetConfig(num_jobs=3000, seed=3))
+    return jobs, summarize(jobs)
+
+
+def test_fig03_fleet_latency(once):
+    jobs, summary = once(run_experiment)
+
+    rows = [
+        (">50us", 0.92, summary.frac_over_50us),
+        (">1ms", 0.62, summary.frac_over_1ms),
+        (">100ms", 0.16, summary.frac_over_100ms),
+    ]
+    table = format_table(
+        ("threshold", "paper fraction", "measured fraction"),
+        rows,
+        title="Figure 3 — fraction of jobs whose mean Next latency exceeds t",
+    )
+    cdf = latency_cdf(jobs, points=11)
+    cdf_table = format_table(
+        ("latency_s", "cdf"), [(f"{l:.2e}", f"{q:.2f}") for l, q in cdf],
+        title="Figure 3 — latency CDF",
+    )
+    emit("fig03_fleet_latency", table + "\n\n" + cdf_table)
+
+    # Obs. 1 shape: the three headline quantiles land in loose bands.
+    assert summary.frac_over_50us == pytest.approx(0.92, abs=0.07)
+    assert summary.frac_over_1ms == pytest.approx(0.62, abs=0.14)
+    assert summary.frac_over_100ms == pytest.approx(0.16, abs=0.08)
+    assert summary.frac_over_50us > summary.frac_over_1ms > summary.frac_over_100ms

@@ -1,0 +1,73 @@
+"""Figure 8: RCNN's heavy UDF parallelism on Setup A.
+
+Paper: the heavy map is transparently parallelized — "1 parallelism uses
+nearly 3 cores" — so over-allocation compounds into thread
+oversubscription and baselines overshoot peak (Obs. 5, ~10% drops);
+"only 4–5 parallelism is necessary"; the LP overestimates by up to 4x
+but stays bounded, while AUTOTUNE oscillates.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import baseline_throughput, sequential_tuning
+from repro.analysis.tables import format_table
+from repro.baselines.naive import naive_config
+from repro.core.plumber import Plumber
+from repro.core.rewriter import set_parallelism
+from repro.host import setup_a
+from repro.workloads import get_workload
+
+STEPS = 8
+SCALE = 0.25
+
+
+def run_experiment():
+    machine = setup_a()
+    pipe = get_workload("rcnn").build(scale=SCALE)
+    run = sequential_tuning(pipe, machine, steps=STEPS, tuner="plumber")
+    heuristic = baseline_throughput(naive_config(pipe), machine, "heuristic")
+    autotune = baseline_throughput(naive_config(pipe), machine, "autotune")
+    # Sweep heavy-map parallelism directly to expose the cliff.
+    sweep = {}
+    for p in (1, 3, 5, 8, 16):
+        tuned = set_parallelism(naive_config(pipe), {"map_heavy": p})
+        from repro.runtime.executor import run_pipeline
+
+        sweep[p] = run_pipeline(
+            tuned, machine, duration=3.0, warmup=1.0
+        ).throughput
+    return run, heuristic, autotune, sweep
+
+
+def test_fig08_rcnn(once):
+    run, heuristic, autotune, sweep = once(run_experiment)
+
+    rows = [
+        (s.step, f"{s.observed:.2f}", f"{s.lp_estimate:.2f}",
+         f"{s.autotune_estimate:.2f}", s.target)
+        for s in run.steps
+    ]
+    table = format_table(
+        ("step", "Observed mb/s", "Est. Max (LP)", "Est. AUTOTUNE", "target"),
+        rows,
+        title="Figure 8 — RCNN on Setup A (heavy UDF internal parallelism 3)",
+    )
+    sweep_table = format_table(
+        ("heavy parallelism", "threads (x3)", "mb/s"),
+        [(p, 3 * p, f"{v:.2f}") for p, v in sweep.items()],
+        title="Figure 8 — heavy-map parallelism sweep",
+    )
+    emit("fig08_rcnn", table + "\n\n" + sweep_table)
+
+    # "The LP overestimates peak performance by 4x" but no worse: every
+    # per-step prediction stays within 4.5x of the final achieved rate.
+    for s in run.steps:
+        assert s.lp_estimate <= run.final_observed * 4.5, s
+    # "Only 4–5 parallelism is necessary": p=5 gets within 10% of p=8.
+    assert sweep[5] >= 0.9 * sweep[8]
+    # Over-allocation stops paying: p=16 (48 threads on 16 cores) is no
+    # better than p=5, and measurably below the no-penalty ideal.
+    assert sweep[16] <= sweep[5] * 1.10
+    # Plumber's converged throughput is competitive with over-allocation.
+    assert run.final_observed >= 0.85 * max(heuristic, autotune)

@@ -1,0 +1,95 @@
+"""Figure 10: end-to-end relative speedups on the TPUv3-8 host (Setup C).
+
+Paper (relative to naive): ResNet18 39.2x, ResNetLinear 47.6x,
+MultiBoxSSD 23.6x, RCNN ~5-6x, Transformer/GNMT 1.0x (model-bound),
+TransformerSmall 12.3x. "Apart from RCNN, Plumber surpasses strong
+baselines by adding caching, yielding speedups of up to 47x compared to
+naive and 50% compared to tuners."
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import EndToEndRow, end_to_end
+from repro.analysis.tables import format_table
+from repro.host import setup_c
+from repro.workloads import END_TO_END_WORKLOADS, get_workload
+
+WORKLOADS = list(END_TO_END_WORKLOADS)
+
+PAPER_RELATIVE = {
+    "resnet18": (1.0, 28.8, 31.7, 39.2),
+    "resnet_linear": (1.0, 29.8, 31.0, 47.6),
+    "ssd": (1.0, 17.2, 17.6, 23.6),
+    "rcnn": (1.0, 5.9, 6.0, 4.8),
+    "transformer": (1.0, 1.0, 1.0, 1.0),
+    "transformer_small": (1.0, 4.4, 4.5, 12.3),
+    "gnmt": (1.0, 1.0, 1.0, 1.0),
+}
+
+
+def run_all():
+    machine = setup_c()
+    return {
+        name: end_to_end(get_workload(name, end_to_end=True), machine)
+        for name in WORKLOADS
+    }
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_all()
+
+
+def test_fig10_relative_speedups(once, rows):
+    once(lambda: None)
+    table_rows = []
+    for name, row in rows.items():
+        rel = row.relative()
+        paper = PAPER_RELATIVE.get(name)
+        table_rows.append(
+            (name, f"{rel.autotune:.1f}", f"{rel.heuristic:.1f}",
+             f"{rel.plumber:.1f}",
+             "/".join(f"{p:g}" for p in paper[1:]) if paper else "-")
+        )
+    table = format_table(
+        ("workload", "AUTOTUNE x", "HEURISTIC x", "Plumber x",
+         "paper (at/heur/plumber)"),
+        table_rows,
+        title="Figure 10 — end-to-end speedup over naive (Setup C)",
+    )
+    emit("fig10_end_to_end", table)
+
+    r18 = rows["resnet18"].relative()
+    # Caching lifts Plumber decisively past the naive configuration...
+    assert r18.plumber >= 25.0
+    # ...and past both strong tuners (the paper's headline >50% is on
+    # ResNetLinear; require a clear win on both ResNet variants).
+    assert r18.plumber >= 1.15 * max(r18.autotune, r18.heuristic)
+    rlin = rows["resnet_linear"].relative()
+    assert rlin.plumber >= 1.3 * max(rlin.autotune, rlin.heuristic)
+
+    # MultiBoxSSD: the post-filter cache removes decode load (Obs. 9).
+    ssd = rows["ssd"].relative()
+    assert ssd.plumber >= 1.2 * max(ssd.autotune, ssd.heuristic)
+
+    # NLP MLPerf pipelines are model-bound: every tuner ties.
+    for name in ("transformer", "gnmt"):
+        rel = rows[name].relative()
+        assert rel.autotune == pytest.approx(rel.plumber, rel=0.05)
+        assert rel.heuristic == pytest.approx(rel.plumber, rel=0.05)
+
+    # TransformerSmall: only aggressive caching reaches peak (2.5-3x gap
+    # between Plumber and the strong baselines).
+    ts = rows["transformer_small"].relative()
+    assert ts.plumber >= 2.0 * max(ts.autotune, ts.heuristic)
+
+
+def test_fig10_resnet50_model_bound(once, rows):
+    """ResNet-50's 8k img/s model cap: Plumber cannot beat the baselines
+    that already saturate it (paper: 24x over naive, ties otherwise)."""
+    once(lambda: None)
+    row = rows["resnet50"]
+    assert row.plumber == pytest.approx(8000.0, rel=0.05)
+    assert row.heuristic == pytest.approx(row.plumber, rel=0.1)
+    assert row.plumber / row.naive >= 20.0

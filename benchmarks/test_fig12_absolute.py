@@ -1,0 +1,80 @@
+"""Figure 12: absolute end-to-end throughputs, plus MultiBoxSSD(48).
+
+Paper (samples/s): ResNet18 325/9365/10306/12740; ResNetLinear
+309/9230/9600/14728; SSD 139/2377/2434/3268; Transformer 859/860/860/859;
+TransformerSmall 220/979/983/2700; GNMT 5598/5600/5605/5606. The
+MultiBoxSSD(48) row (half the cores) shows Plumber's caching gains grow
+when resources shrink.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import end_to_end
+from repro.analysis.tables import format_table
+from repro.host import setup_c
+from repro.workloads import get_workload
+
+PAPER_ABSOLUTE = {
+    "resnet18": (325, 9365, 10306, 12740),
+    "resnet_linear": (309, 9230, 9600, 14728),
+    "ssd": (139, 2377, 2434, 3268),
+    "rcnn": (14, 81, 82, 66),
+    "transformer": (859, 860, 860, 859),
+    "transformer_small": (220, 979, 983, 2700),
+    "gnmt": (5598, 5600, 5605, 5606),
+}
+
+
+def run_all():
+    machine = setup_c()
+    rows = {
+        name: end_to_end(get_workload(name, end_to_end=True), machine)
+        for name in PAPER_ABSOLUTE
+    }
+    # MultiBoxSSD(48): half the cores (§C.1).
+    rows["ssd_48"] = end_to_end(
+        get_workload("ssd", end_to_end=True), machine.with_cores(48)
+    )
+    return rows
+
+
+def test_fig12_absolute_throughput(once):
+    rows = once(run_all)
+
+    table_rows = []
+    for name, row in rows.items():
+        paper = PAPER_ABSOLUTE.get(name, ("-",) * 4)
+        table_rows.append(
+            (name, f"{row.naive:.0f}", f"{row.autotune:.0f}",
+             f"{row.heuristic:.0f}", f"{row.plumber:.0f}",
+             "/".join(str(p) for p in paper))
+        )
+    table = format_table(
+        ("workload", "naive", "AUTOTUNE", "HEURISTIC", "Plumber",
+         "paper (n/a/h/p)"),
+        table_rows,
+        title="Figure 12 — absolute samples/second (Setup C)",
+    )
+    emit("fig12_absolute", table)
+
+    # Model-rate anchors hold exactly: these configurations saturate the
+    # accelerator, so absolute numbers match the paper's.
+    assert rows["resnet18"].plumber == pytest.approx(12740, rel=0.03)
+    assert rows["resnet_linear"].plumber == pytest.approx(14728, rel=0.03)
+    assert rows["transformer"].plumber == pytest.approx(860, rel=0.03)
+    assert rows["gnmt"].plumber == pytest.approx(5600, rel=0.03)
+    assert rows["transformer_small"].plumber == pytest.approx(2700, rel=0.05)
+
+    # Storage-bound heuristic ResNet18 lands near the paper's ~10.3k
+    # (the 11k img/s cloud-storage bound minus overheads).
+    assert rows["resnet18"].heuristic == pytest.approx(10306, rel=0.15)
+
+    # MultiBoxSSD(48): with half the cores the CPU-bound baselines drop
+    # while Plumber's cached pipeline holds its rate (paper: 2019-2075
+    # vs 3323) — the relative caching gain grows.
+    full, half = rows["ssd"], rows["ssd_48"]
+    assert half.heuristic < full.heuristic
+    gain_full = full.plumber / max(full.autotune, full.heuristic)
+    gain_half = half.plumber / max(half.autotune, half.heuristic)
+    assert gain_half >= gain_full * 0.95

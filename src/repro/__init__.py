@@ -1,0 +1,21 @@
+"""repro — a reproduction of Plumber (MLSys 2022).
+
+Plumber traces ML input pipelines, models each operator with
+resource-accounted rates, and rewrites the pipeline (parallelism,
+prefetching, caching) via a linear program over host resources.
+
+Public API quick tour
+---------------------
+* :mod:`repro.graph` — build a declarative pipeline (``from_tfrecords``,
+  ``.map``, ``.batch`` ...).
+* :mod:`repro.host` — machine presets (Setups A/B/C) and storage specs.
+* :mod:`repro.runtime` — simulated executor (``run_pipeline``).
+* :mod:`repro.core` — Plumber itself (``Plumber``, ``optimize_pipeline``).
+* :mod:`repro.baselines` — AUTOTUNE / HEURISTIC / naive / random tuners.
+* :mod:`repro.workloads` — the five MLPerf pipelines from the paper.
+* :mod:`repro.fleet` — the §3 fleet analysis.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,7 @@
+"""Analysis utilities: analytic steady-state model, experiment drivers,
+and text tables shared by the benchmark harnesses."""
+
+from repro.analysis.steady_state import SteadyStatePrediction, predict_throughput
+from repro.analysis.tables import format_table
+
+__all__ = ["SteadyStatePrediction", "format_table", "predict_throughput"]

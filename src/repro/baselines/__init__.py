@@ -1,0 +1,23 @@
+"""Tuning baselines the paper compares against (§5):
+
+* **NAIVE** — minimal parallelism (1 everywhere); end-to-end naive also
+  strips prefetching.
+* **HEURISTIC** — every tunable set to the machine's core count, with
+  the dataset's hard-coded prefetching.
+* **AUTOTUNE** — an M/M/1/k-style output-latency model tuned by hill
+  climbing; predictions unbounded by resources (the Fig. 7 contrast).
+* **random walk** — uninformed debugging: bump a random node each step.
+"""
+
+from repro.baselines.autotune import AutotuneResult, AutotuneTuner
+from repro.baselines.heuristic import heuristic_config
+from repro.baselines.naive import naive_config
+from repro.baselines.random_walk import RandomWalkTuner
+
+__all__ = [
+    "AutotuneResult",
+    "AutotuneTuner",
+    "RandomWalkTuner",
+    "heuristic_config",
+    "naive_config",
+]

@@ -1,0 +1,139 @@
+"""The AUTOTUNE baseline (§2.2).
+
+tf.data's autotuner models each iterator as an M/M/1/k queue: each
+node's *output latency* is its processing time normalized by parallelism
+plus its children's input latency, combined per node type. Tuning is
+hill climbing on the parallelism knobs, stopping at a plateau or a
+resource budget. Two properties the paper leans on:
+
+* "because resource utilization is not modeled, the output latency
+  function can be driven to zero if parallelism is allowed to increase
+  unbounded" — the predicted rate ``1 / L_root`` is unbounded (Fig. 7);
+* AUTOTUNE "tends to allocate maximum parallelism to all Datasets"
+  (over-allocation, Obs. 5), and by default leaves source I/O
+  parallelism alone (the ResNetLinear pitfall in §5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.rates import PipelineModel
+from repro.core.rewriter import set_parallelism
+from repro.graph.datasets import InterleaveSourceNode, Pipeline
+from repro.host.machine import Machine
+
+
+@dataclass
+class AutotuneResult:
+    """Chosen parallelism plan and the model's (unbounded) prediction."""
+
+    plan: Dict[str, int]
+    predicted_latency: float       # modelled seconds per minibatch
+    predicted_throughput: float    # 1 / latency — not resource-bounded
+    pipeline: Pipeline
+
+
+class AutotuneTuner:
+    """Output-latency model + hill climbing over parallelism knobs.
+
+    Parameters
+    ----------
+    budget_factor:
+        Hill climbing stops when total allocated parallelism reaches
+        ``budget_factor * cores`` — the heuristic constraint the paper
+        notes AUTOTUNE is forced to use.
+    io_parallelism:
+        If ``None``, source (I/O) parallelism is left untouched — the
+        default that bites ResNetLinear in §5.4. Set e.g. 10 to mimic
+        the MLPerf-submission default the authors grant it.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        budget_factor: float = 2.0,
+        io_parallelism: Optional[int] = None,
+    ) -> None:
+        if budget_factor <= 0:
+            raise ValueError("budget_factor must be > 0")
+        self.machine = machine
+        self.budget_factor = budget_factor
+        self.io_parallelism = io_parallelism
+
+    # ------------------------------------------------------------------
+    # The latency model.
+    # ------------------------------------------------------------------
+    def output_latency(
+        self, model: PipelineModel, plan: Optional[Dict[str, int]] = None
+    ) -> float:
+        """Modelled root output latency (seconds per minibatch).
+
+        Per node: ``service_i / p_i`` converted to root units via the
+        visit ratio, summed along the chain (children's input latency
+        feeding parents). Service times come from traced CPU-time per
+        element — resource contention is deliberately absent.
+        """
+        plan = plan or {}
+        latency = 0.0
+        for rates in model.rates.values():
+            if rates.elements_produced <= 0 or rates.cpu_core_seconds <= 0:
+                continue
+            service = rates.cpu_core_seconds / rates.elements_produced
+            p = plan.get(rates.name, rates.parallelism)
+            # seconds per minibatch contributed by this node
+            latency += service * rates.visit_ratio / max(1, p)
+        return latency
+
+    def predict_throughput(
+        self, model: PipelineModel, plan: Optional[Dict[str, int]] = None
+    ) -> float:
+        """The AUTOTUNE rate estimate plotted in Figure 7 (unbounded)."""
+        latency = self.output_latency(model, plan)
+        return 1.0 / latency if latency > 0 else math.inf
+
+
+    # ------------------------------------------------------------------
+    # Hill climbing.
+    # ------------------------------------------------------------------
+    def tune(self, model: PipelineModel) -> AutotuneResult:
+        """Hill-climb parallelism to minimize modelled output latency."""
+        pipeline = model.pipeline
+        tunables = {
+            n.name: n for n in pipeline.tunables()
+            if self.io_parallelism is not None
+            or not isinstance(n, InterleaveSourceNode)
+        }
+        plan: Dict[str, int] = {
+            name: node.effective_parallelism for name, node in tunables.items()
+        }
+        budget = int(self.machine.cores * self.budget_factor)
+
+        while sum(plan.values()) < budget:
+            base = self.output_latency(model, plan)
+            best_name, best_gain = None, 0.0
+            for name in plan:
+                trial = dict(plan)
+                trial[name] += 1
+                gain = base - self.output_latency(model, trial)
+                if gain > best_gain + 1e-15:
+                    best_gain = gain
+                    best_name = name
+            if best_name is None:
+                break  # plateau
+            plan[best_name] += 1
+
+        if self.io_parallelism is not None:
+            for node in pipeline.sources():
+                plan[node.name] = self.io_parallelism
+
+        tuned = set_parallelism(pipeline, plan) if plan else pipeline
+        latency = self.output_latency(model, plan)
+        return AutotuneResult(
+            plan=plan,
+            predicted_latency=latency,
+            predicted_throughput=1.0 / latency if latency > 0 else math.inf,
+            pipeline=tuned,
+        )

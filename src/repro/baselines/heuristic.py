@@ -1,0 +1,19 @@
+"""The HEURISTIC baseline: parallelism = number of cores.
+
+"HEURISTIC, which set the parallelism tunables to the number of cores
+on the machine" (§5), keeping whatever prefetching the dataset hard-
+codes. Over-provisioning is competitive in practice (Obs. 5) but
+vulnerable to thread over-allocation on UDF-parallel pipelines.
+"""
+
+from __future__ import annotations
+
+from repro.core.rewriter import set_parallelism
+from repro.graph.datasets import Pipeline
+from repro.host.machine import Machine
+
+
+def heuristic_config(pipeline: Pipeline, machine: Machine) -> Pipeline:
+    """Set every tunable's parallelism to the machine's core count."""
+    plan = {node.name: machine.cores for node in pipeline.tunables()}
+    return set_parallelism(pipeline, plan)

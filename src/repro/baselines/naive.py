@@ -1,0 +1,26 @@
+"""The naive configuration: parallelism = 1 everywhere.
+
+§5.1 microbenchmarks start from "the naive configuration
+(parallelism=1) *with* prefetching"; §5.4 end-to-end naive additionally
+has "1 parallelism and no prefetching". Both variants are provided.
+"""
+
+from __future__ import annotations
+
+from repro.core.rewriter import remove_node, set_parallelism
+from repro.graph.datasets import Pipeline, PrefetchNode
+
+
+def naive_config(pipeline: Pipeline, keep_prefetch: bool = True) -> Pipeline:
+    """Reset every tunable to parallelism 1; optionally strip prefetch."""
+    plan = {node.name: 1 for node in pipeline.tunables()}
+    result = set_parallelism(pipeline, plan)
+    if not keep_prefetch:
+        while True:
+            prefetches = [
+                n.name for n in result.iter_nodes() if isinstance(n, PrefetchNode)
+            ]
+            if not prefetches:
+                break
+            result = remove_node(result, prefetches[0])
+    return result

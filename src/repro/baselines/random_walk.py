@@ -1,0 +1,38 @@
+"""Uninformed debugging: the random-walk tuner of Figure 6.
+
+"To compare against uninformed debugging, we plot a random walk, which
+randomly picks a node to parallelize for each step."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.rewriter import set_parallelism
+from repro.graph.datasets import Pipeline
+
+
+class RandomWalkTuner:
+    """Bump a uniformly random tunable node's parallelism each step."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.history: List[str] = []
+
+    def step(self, pipeline: Pipeline, core_budget: int | None = None) -> Pipeline:
+        """One random step; respects ``core_budget`` if given."""
+        tunables = pipeline.tunables()
+        if not tunables:
+            return pipeline
+        if core_budget is not None:
+            total = sum(n.effective_parallelism for n in tunables)
+            if total >= core_budget:
+                self.history.append("<budget>")
+                return pipeline
+        node = tunables[self._rng.integers(len(tunables))]
+        self.history.append(node.name)
+        return set_parallelism(
+            pipeline, {node.name: node.effective_parallelism + 1}
+        )

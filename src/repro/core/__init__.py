@@ -1,0 +1,91 @@
+"""Plumber itself: tracing, operational analysis, the LP, and rewriting."""
+
+from repro.core.bottleneck import (
+    BottleneckReport,
+    SequentialTuner,
+    local_estimate,
+    rank_bottlenecks,
+    throughput_estimates,
+)
+from repro.core.cache_planner import (
+    CacheDecision,
+    plan_cache_exhaustive,
+    plan_cache_greedy,
+)
+from repro.core.disk_planner import (
+    DiskCurve,
+    benchmark_source_curve,
+    fit_piecewise,
+    io_bound_throughput,
+)
+from repro.core.lp import LPError, LPSolution, solve_allocation
+from repro.core.plumber import (
+    OptimizationResult,
+    PickBestResult,
+    Plumber,
+    optimize,
+    optimize_pipeline,
+)
+from repro.core.prefetch_planner import PrefetchDecision, plan_prefetch
+from repro.core.randomness import node_is_random, tainted_nodes, udf_is_random
+from repro.core.rates import (
+    NodeRates,
+    PipelineModel,
+    SourceSizeEstimate,
+    build_model,
+    estimate_source_size,
+)
+from repro.core.report import explain
+from repro.core.rewriter import (
+    RewriteError,
+    get_parallelism,
+    insert_cache_after,
+    insert_prefetch_after,
+    remove_node,
+    set_parallelism,
+    strip_caches,
+)
+from repro.core.trace import HostInfo, PipelineTrace
+
+__all__ = [
+    "BottleneckReport",
+    "CacheDecision",
+    "DiskCurve",
+    "HostInfo",
+    "LPError",
+    "LPSolution",
+    "NodeRates",
+    "OptimizationResult",
+    "PickBestResult",
+    "PipelineModel",
+    "PipelineTrace",
+    "Plumber",
+    "PrefetchDecision",
+    "RewriteError",
+    "SequentialTuner",
+    "SourceSizeEstimate",
+    "benchmark_source_curve",
+    "build_model",
+    "estimate_source_size",
+    "explain",
+    "fit_piecewise",
+    "get_parallelism",
+    "insert_cache_after",
+    "insert_prefetch_after",
+    "io_bound_throughput",
+    "local_estimate",
+    "node_is_random",
+    "optimize",
+    "optimize_pipeline",
+    "plan_cache_exhaustive",
+    "plan_cache_greedy",
+    "plan_prefetch",
+    "rank_bottlenecks",
+    "remove_node",
+    "set_parallelism",
+    "solve_allocation",
+    "strip_caches",
+    "tainted_nodes",
+    "throughput_estimates",
+    "udf_is_random",
+]

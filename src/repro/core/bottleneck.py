@@ -1,0 +1,113 @@
+"""Bottleneck ranking and the iterative sequential tuner (§5.1).
+
+"Plumber iteratively (using 1 minute of tracing) picks the node to
+optimize by ranking nodes by their parallelism-scaled rates."
+
+Also provides the two throughput estimators plotted in Figure 7:
+
+* the **local** estimate, which assumes all remaining cores go to the
+  current bottleneck (and so cannot see past one bottleneck), and
+* the **LP** estimate from :mod:`repro.core.lp`, which is bounded by
+  resource usage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.lp import solve_allocation
+from repro.core.rates import NodeRates, PipelineModel
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Ranked bottlenecks plus throughput estimates for one trace."""
+
+    ranked: List[NodeRates]          # slowest (bottleneck) first
+    observed_throughput: float
+    local_estimate: float
+    lp_estimate: float
+
+    @property
+    def bottleneck(self) -> Optional[NodeRates]:
+        """The slowest node by parallelism-scaled rate."""
+        return self.ranked[0] if self.ranked else None
+
+
+def rank_bottlenecks(model: PipelineModel) -> List[NodeRates]:
+    """Tunable CPU nodes sorted by parallelism-scaled rate, slowest
+    first — the node Plumber would parallelize next."""
+    nodes = model.tunable_cpu_nodes()
+    return sorted(nodes, key=lambda r: r.scaled_rate)
+
+
+def local_estimate(model: PipelineModel, cores: Optional[float] = None) -> float:
+    """Estimated max rate if all free cores go to the current bottleneck.
+
+    The Figure 7 "local" baseline: it cannot see past one bottleneck, so
+    it oscillates as the bottleneck changes.
+    """
+    if cores is None:
+        cores = float(model.trace.host.cores)
+    ranked = rank_bottlenecks(model)
+    if not ranked:
+        return math.inf
+    bottleneck = ranked[0]
+    used = sum(r.parallelism for r in model.cpu_nodes())
+    free = max(0.0, cores - used)
+    boosted = (bottleneck.parallelism + free) * bottleneck.rate_per_core
+    others = [r.scaled_rate for r in ranked[1:]]
+    others.append(boosted)
+    return min(others)
+
+
+def throughput_estimates(model: PipelineModel) -> BottleneckReport:
+    """All Figure 7 series for one trace: observed, local, and LP."""
+    ranked = rank_bottlenecks(model)
+    lp = solve_allocation(model)
+    return BottleneckReport(
+        ranked=ranked,
+        observed_throughput=model.observed_throughput,
+        local_estimate=local_estimate(model),
+        lp_estimate=lp.predicted_throughput,
+    )
+
+
+class SequentialTuner:
+    """The step-at-a-time tuner of §5.1: trace, rank, bump the
+    bottleneck's parallelism by one, repeat.
+
+    The tuner never exceeds the core budget in total allocated
+    parallelism (each step adds one unit).
+    """
+
+    def __init__(self, model_builder, core_budget: Optional[int] = None) -> None:
+        """``model_builder(pipeline) -> PipelineModel`` runs a short trace
+        and derives rates (injected so tests can use analytic models)."""
+        self._build = model_builder
+        self.core_budget = core_budget
+        self.history: List[str] = []
+
+    def step(self, pipeline) -> tuple:
+        """One optimization step. Returns ``(new_pipeline, model)``; the
+        pipeline is unchanged when no tunable bottleneck remains."""
+        from repro.core.rewriter import set_parallelism
+
+        model = self._build(pipeline)
+        ranked = rank_bottlenecks(model)
+        if not ranked:
+            self.history.append("<none>")
+            return pipeline, model
+        budget = self.core_budget or model.trace.host.cores
+        total = sum(
+            n.effective_parallelism for n in pipeline.tunables()
+        )
+        if total >= budget:
+            self.history.append("<budget>")
+            return pipeline, model
+        target = ranked[0]
+        self.history.append(target.name)
+        plan = {target.name: target.parallelism + 1}
+        return set_parallelism(pipeline, plan), model

@@ -1,0 +1,139 @@
+"""Cache placement (§4.3 "Memory", §4.4 "Materialization Cost").
+
+"Caching aggressively is always desirable... the optimal cache minimizes
+total work by placing it as high in the pipeline as possible" subject to
+the materialized size fitting in host memory and the stream being
+deterministic and finite.
+
+Two solvers:
+
+* :func:`plan_cache_greedy` — the paper's default for linear pipelines:
+  pick the cacheable node closest to the root whose materialized size
+  fits (greedy, and optimal for linear topologies).
+* :func:`plan_cache_exhaustive` — the Boolean-decision variant sketched
+  for general topologies: score every candidate by the LP throughput of
+  the cached pipeline and return the best (with one candidate per linear
+  segment this is the exact optimum).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.lp import solve_allocation
+from repro.core.rates import NodeRates, PipelineModel
+from repro.host.memory import MemoryBudget
+
+
+@dataclass(frozen=True)
+class CacheDecision:
+    """Where to cache and what it costs."""
+
+    target: str               # cache inserted directly above this node
+    materialized_bytes: float
+    storage: str = "memory"
+    expected_speedup_hint: Optional[float] = None
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"cache after {self.target!r} "
+            f"({self.materialized_bytes / 1e9:.1f} GB, {self.storage})"
+        )
+
+
+def plan_cache_greedy(
+    model: PipelineModel,
+    memory: Optional[MemoryBudget] = None,
+) -> Optional[CacheDecision]:
+    """Greedy closest-to-root cache that fits in memory.
+
+    Returns ``None`` when no cacheable node fits (e.g. everything
+    downstream of a random augmentation, or the materialized sizes all
+    exceed RAM).
+    """
+    if memory is None:
+        memory = MemoryBudget(model.trace.host.memory_bytes)
+    for rates in model.cache_candidates():
+        if not math.isfinite(rates.materialized_bytes):
+            continue
+        if memory.fits(rates.materialized_bytes):
+            return CacheDecision(
+                target=rates.name,
+                materialized_bytes=rates.materialized_bytes,
+            )
+    return None
+
+
+def plan_cache_exhaustive(
+    model: PipelineModel,
+    memory: Optional[MemoryBudget] = None,
+) -> Optional[CacheDecision]:
+    """Score every feasible candidate by post-cache LP throughput.
+
+    Caching at node ``i`` zeroes the steady-state cost of ``i`` and
+    everything below it; we re-solve the LP with those nodes' rates
+    removed and the disk constraint waived, then pick the candidate with
+    the highest predicted throughput. This implements the "Boolean
+    decision variables for each cache candidate over the LP" extension
+    by enumeration (exact for the tree sizes input pipelines have).
+    """
+    if memory is None:
+        memory = MemoryBudget(model.trace.host.memory_bytes)
+    feasible: List[NodeRates] = [
+        r for r in model.cache_candidates()
+        if math.isfinite(r.materialized_bytes)
+        and memory.fits(r.materialized_bytes)
+    ]
+    if not feasible:
+        return None
+
+    best: Optional[CacheDecision] = None
+    best_rate = -math.inf
+    for rates in feasible:
+        predicted = _cached_lp_throughput(model, rates.name)
+        if predicted > best_rate + 1e-9:
+            best_rate = predicted
+            best = CacheDecision(
+                target=rates.name,
+                materialized_bytes=rates.materialized_bytes,
+                expected_speedup_hint=(
+                    predicted / model.observed_throughput
+                    if model.observed_throughput > 0
+                    else None
+                ),
+            )
+    return best
+
+
+def _cached_lp_throughput(model: PipelineModel, cache_target: str) -> float:
+    """LP throughput with ``cache_target`` and its subtree cost-free."""
+    below = _subtree_names(model, cache_target)
+    survivors = [r for r in model.cpu_nodes() if r.name not in below]
+    if not survivors:
+        return math.inf
+    # Serve-side rate of the slowest surviving node under a full-core
+    # allocation mirrors the LP with the cached nodes dropped; reuse the
+    # solver by building a filtered view.
+    import copy
+
+    filtered = copy.copy(model)
+    filtered.rates = {
+        name: r for name, r in model.rates.items() if name not in below
+    }
+    filtered.bytes_per_minibatch = 0.0  # cache removes all I/O
+    solution = solve_allocation(filtered)
+    return solution.predicted_throughput
+
+
+def _subtree_names(model: PipelineModel, target: str) -> set:
+    """``target`` plus every node below it."""
+    node = model.pipeline.node(target)
+    names = set()
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        names.add(n.name)
+        stack.extend(n.inputs)
+    return names

@@ -1,0 +1,261 @@
+"""Plumber's user-facing API (§4.1, §4.2, §B).
+
+The paper's workflow, one line for the user:
+
+1. **Trace** the pipeline under a benchmark workload (runtime flag).
+2. **Analyze** — resource-accounted rates, dataset sizes, randomness.
+3. **Optimize** — three logical passes (LP parallelism, prefetch
+   insertion, cache insertion), run for two iterations by default "so
+   that the estimated rates more closely reflect the final pipeline's
+   performance".
+4. **Rewrite** and hand back a pipeline with the same signature.
+
+Entry points: :class:`Plumber` for step-by-step control,
+:func:`optimize_pipeline` for the one-liner, and :func:`optimize` — the
+``@optimize`` annotation with ``pick_best`` multi-pipeline queries
+(Figure 11).
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.bottleneck import throughput_estimates
+from repro.core.cache_planner import CacheDecision, plan_cache_greedy
+from repro.core.lp import LPSolution, solve_allocation
+from repro.core.prefetch_planner import plan_prefetch
+from repro.core.rates import PipelineModel, build_model
+from repro.core.rewriter import (
+    insert_cache_after,
+    insert_prefetch_after,
+    set_parallelism,
+    strip_caches,
+)
+from repro.core.trace import PipelineTrace
+from repro.graph.datasets import Pipeline
+from repro.host.machine import Machine
+from repro.host.memory import MemoryBudget
+from repro.runtime.executor import run_pipeline
+
+#: default optimization passes, in order
+DEFAULT_PASSES = ("parallelism", "prefetch", "cache")
+
+
+@dataclass
+class OptimizationResult:
+    """The rewritten pipeline plus the decision log."""
+
+    pipeline: Pipeline
+    model: PipelineModel
+    lp: Optional[LPSolution]
+    cache: Optional[CacheDecision]
+    decisions: List[str] = field(default_factory=list)
+    predicted_throughput: float = math.nan
+
+
+class Plumber:
+    """Tracing + rewriting front-end bound to one machine.
+
+    Parameters
+    ----------
+    machine:
+        The (simulated) host to trace and optimize for.
+    trace_duration / trace_warmup:
+        Virtual seconds of tracing per iteration (the paper uses ~1
+        minute of wallclock; in simulation a couple of virtual seconds
+        reaches steady state).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        trace_duration: float = 3.0,
+        trace_warmup: float = 0.5,
+        granularity: Optional[int] = None,
+    ) -> None:
+        self.machine = machine
+        self.trace_duration = trace_duration
+        self.trace_warmup = trace_warmup
+        self.granularity = granularity
+
+    # ------------------------------------------------------------------
+    def trace(self, pipeline: Pipeline, **overrides) -> PipelineTrace:
+        """Run the pipeline with tracing enabled and collect a trace."""
+        result = run_pipeline(
+            pipeline,
+            self.machine,
+            duration=overrides.pop("duration", self.trace_duration),
+            warmup=overrides.pop("warmup", self.trace_warmup),
+            granularity=overrides.pop("granularity", self.granularity),
+            trace=True,
+            **overrides,
+        )
+        return PipelineTrace.from_run(result)
+
+    def analyze(self, trace: PipelineTrace) -> PipelineModel:
+        """Derive the operational model from a trace."""
+        return build_model(trace)
+
+    def model(self, pipeline: Pipeline) -> PipelineModel:
+        """Trace + analyze in one call."""
+        return self.analyze(self.trace(pipeline))
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        pipeline: Pipeline,
+        passes: Sequence[str] = DEFAULT_PASSES,
+        iterations: int = 2,
+        memory: Optional[MemoryBudget] = None,
+        allocate_remaining: bool = True,
+    ) -> OptimizationResult:
+        """Run the optimizer passes and return the rewritten pipeline."""
+        unknown = set(passes) - {"parallelism", "prefetch", "cache"}
+        if unknown:
+            raise ValueError(f"unknown optimizer passes: {sorted(unknown)}")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if memory is None:
+            memory = MemoryBudget(self.machine.memory_bytes)
+
+        current = strip_caches(pipeline)
+        decisions: List[str] = []
+        lp: Optional[LPSolution] = None
+        cache: Optional[CacheDecision] = None
+        model = self.model(current)
+
+        for iteration in range(iterations):
+            if "parallelism" in passes:
+                lp = solve_allocation(model)
+                plan = lp.parallelism_plan(
+                    model, allocate_remaining=allocate_remaining
+                )
+                if plan:
+                    current = set_parallelism(current, plan)
+                    decisions.append(
+                        f"iter{iteration}: parallelism {plan} "
+                        f"(LP X*={lp.predicted_throughput:.2f})"
+                    )
+                model = self.model(current)
+
+            if "prefetch" in passes:
+                for decision in plan_prefetch(model):
+                    current = insert_prefetch_after(
+                        current,
+                        decision.target,
+                        decision.buffer_size,
+                        name=f"prefetch_{decision.target}_i{iteration}",
+                    )
+                    decisions.append(
+                        f"iter{iteration}: prefetch[{decision.buffer_size}] "
+                        f"after {decision.target}"
+                    )
+                model = self.model(current)
+
+            if "cache" in passes and cache is None:
+                cache = plan_cache_greedy(model, memory)
+                if cache is not None:
+                    memory.reserve(f"cache_{cache.target}", cache.materialized_bytes)
+                    current = insert_cache_after(current, cache.target)
+                    decisions.append(f"iter{iteration}: {cache}")
+                    model = self.model(current)
+
+        predicted = lp.predicted_throughput if lp else math.nan
+        return OptimizationResult(
+            pipeline=current,
+            model=model,
+            lp=lp,
+            cache=cache,
+            decisions=decisions,
+            predicted_throughput=predicted,
+        )
+
+    # ------------------------------------------------------------------
+    def pick_best(
+        self,
+        variants: Dict[str, Pipeline],
+        passes: Sequence[str] = DEFAULT_PASSES,
+        iterations: int = 1,
+    ) -> "PickBestResult":
+        """Optimize each variant and pick the fastest (Figure 11).
+
+        Steady-state cache effects are simulated (the optimizer's model
+        treats cached subtrees as free), so cold-start does not penalize
+        the cacheable variant — the property the paper calls out as hard
+        for online tuners.
+        """
+        if not variants:
+            raise ValueError("pick_best requires at least one variant")
+        results: Dict[str, OptimizationResult] = {}
+        scores: Dict[str, float] = {}
+        for name, pipe in variants.items():
+            res = self.optimize(pipe, passes=passes, iterations=iterations)
+            results[name] = res
+            scores[name] = res.model.observed_throughput
+        winner = max(scores, key=scores.get)
+        return PickBestResult(winner=winner, results=results, scores=scores)
+
+
+@dataclass
+class PickBestResult:
+    """Outcome of a multi-pipeline ``pick_best`` query."""
+
+    winner: str
+    results: Dict[str, OptimizationResult]
+    scores: Dict[str, float]
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The winning optimized pipeline."""
+        return self.results[self.winner].pipeline
+
+
+def optimize_pipeline(
+    pipeline: Pipeline,
+    machine: Machine,
+    **kwargs,
+) -> OptimizationResult:
+    """One-line pipeline optimization (the paper's headline API)."""
+    return Plumber(machine).optimize(pipeline, **kwargs)
+
+
+def optimize(
+    machine: Machine,
+    pick_best: Optional[Dict[str, Sequence]] = None,
+    **plumber_kwargs,
+):
+    """The ``@optimize`` annotation (Figure 11).
+
+    Decorates a loader function returning a :class:`Pipeline`. With
+    ``pick_best={"param": [values...]}``, the loader is invoked once per
+    value, each variant is traced and optimized, and the fastest
+    optimized pipeline is returned.
+
+    Example
+    -------
+    >>> @optimize(machine, pick_best={"cache": [True, False]})
+    ... def loader_fn(data_dir, cache):
+    ...     ...
+    """
+
+    def decorator(loader: Callable[..., Pipeline]):
+        @functools.wraps(loader)
+        def wrapped(*args, **kwargs) -> Pipeline:
+            plumber = Plumber(machine, **plumber_kwargs)
+            if not pick_best:
+                return plumber.optimize(loader(*args, **kwargs)).pipeline
+            if len(pick_best) != 1:
+                raise ValueError("pick_best supports exactly one parameter")
+            (param, values), = pick_best.items()
+            variants = {
+                f"{param}={v}": loader(*args, **{**kwargs, param: v})
+                for v in values
+            }
+            return plumber.pick_best(variants).pipeline
+
+        return wrapped
+
+    return decorator

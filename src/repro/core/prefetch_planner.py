@@ -1,0 +1,92 @@
+"""Prefetch injection (§4.1 "Optimizer").
+
+"Prefetching is a subsequent pass which injects prefetching proportional
+to the idleness in the pipeline under a benchmark workload."
+
+We inject a root prefetch (decoupling the consumer from the pipeline)
+and a prefetch above every parallel stage that feeds a sequential one,
+with buffer sizes proportional to observed idleness (1 - CPU
+utilization) scaled by the stage's parallelism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.rates import PipelineModel
+from repro.graph.datasets import (
+    BatchNode,
+    CacheNode,
+    MapNode,
+    Pipeline,
+    PrefetchNode,
+    RepeatNode,
+)
+
+
+@dataclass(frozen=True)
+class PrefetchDecision:
+    """One prefetch buffer to insert."""
+
+    target: str        # insert directly above this node
+    buffer_size: int   # elements
+
+
+def plan_prefetch(
+    model: PipelineModel,
+    max_buffer: int = 64,
+    min_buffer: int = 2,
+) -> List[PrefetchDecision]:
+    """Prefetch injection plan proportional to pipeline idleness."""
+    pipeline = model.pipeline
+    idleness = max(0.0, 1.0 - model.trace.cpu_utilization)
+    decisions: List[PrefetchDecision] = []
+
+    existing = {
+        n.inputs[0].name
+        for n in pipeline.iter_nodes()
+        if isinstance(n, PrefetchNode)
+    }
+
+    # Root prefetch: decouple the training step from the pipeline. The
+    # buffer grows with idleness — an idle pipeline benefits from deeper
+    # buffering to ride out bursts.
+    root_target = _root_insert_point(pipeline)
+    if root_target is not None and root_target not in existing:
+        buffer = int(min(max_buffer, max(min_buffer, round(2 + idleness * 8))))
+        decisions.append(PrefetchDecision(root_target, buffer))
+
+    # Stage prefetches: above each parallel stage, sized to its
+    # parallelism so workers are never blocked on a full queue.
+    for node in pipeline.topological_order():
+        if not isinstance(node, (MapNode, BatchNode)):
+            continue
+        if node.effective_parallelism < 2:
+            continue
+        if node.name in existing or node.name == root_target:
+            continue
+        parent = pipeline.parent_of(node.name)
+        if parent is None or isinstance(parent, PrefetchNode):
+            continue
+        buffer = int(
+            min(max_buffer, max(min_buffer, math.ceil(node.effective_parallelism / 2)))
+        )
+        decisions.append(PrefetchDecision(node.name, buffer))
+    return decisions
+
+
+def _root_insert_point(pipeline: Pipeline) -> str | None:
+    """Node above which the root prefetch goes: the root itself, unless
+    the top of the pipeline is repeat/cache bookkeeping — then directly
+    below it, so the buffer sits next to the consumer."""
+    node = pipeline.root
+    if isinstance(node, PrefetchNode):
+        return None
+    while isinstance(node, (RepeatNode, CacheNode)) and node.inputs:
+        child = node.inputs[0]
+        if isinstance(child, PrefetchNode):
+            return None
+        node = child
+    return node.name

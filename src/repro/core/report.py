@@ -1,0 +1,77 @@
+"""Human-readable bottleneck reports — Plumber's ``EXPLAIN`` equivalent.
+
+"Plumber's tracer quantifies the performance of individual operators,
+focusing the practitioner's attention on the most underperforming subset
+of the data pipeline, while also quantifying the resource utilization
+of the pipeline" (§1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.core.bottleneck import throughput_estimates
+from repro.core.rates import PipelineModel
+
+
+def _fmt_rate(value: float) -> str:
+    if math.isinf(value):
+        return "inf"
+    return f"{value:.3g}"
+
+
+def _fmt_bytes(value: float) -> str:
+    if math.isinf(value):
+        return "inf (random/repeated)"
+    if value >= 1e9:
+        return f"{value / 1e9:.1f} GB"
+    if value >= 1e6:
+        return f"{value / 1e6:.1f} MB"
+    return f"{value / 1e3:.1f} KB"
+
+
+def explain(model: PipelineModel) -> str:
+    """Render a full bottleneck report for one traced pipeline."""
+    report = throughput_estimates(model)
+    rows = []
+    bottleneck_name = report.bottleneck.name if report.bottleneck else None
+    for node in model.pipeline.topological_order():
+        rates = model.rates[node.name]
+        marker = "<-- bottleneck" if node.name == bottleneck_name else ""
+        rows.append(
+            (
+                rates.name,
+                rates.kind,
+                rates.parallelism,
+                _fmt_rate(rates.visit_ratio),
+                _fmt_rate(rates.rate_per_core),
+                _fmt_rate(rates.scaled_rate),
+                _fmt_bytes(rates.materialized_bytes),
+                "yes" if rates.cacheable else "no",
+                marker,
+            )
+        )
+    table = format_table(
+        (
+            "node", "kind", "par", "visit V_i", "R_i mb/s/core",
+            "p*R_i", "materialized", "cacheable", "",
+        ),
+        rows,
+    )
+    lines = [
+        f"pipeline: {model.pipeline.name}",
+        f"observed throughput: {model.observed_throughput:.3f} minibatches/s",
+        f"LP max-rate estimate: {_fmt_rate(report.lp_estimate)} minibatches/s",
+        f"local max-rate estimate: {_fmt_rate(report.local_estimate)} minibatches/s",
+        f"disk I/O: {model.bytes_per_minibatch / 1e6:.2f} MB per minibatch",
+        "",
+        table,
+    ]
+    for est in model.source_estimates.values():
+        lines.append(
+            f"source {est.source!r}: ~{est.estimated_bytes / 1e9:.2f} GB "
+            f"estimated from {est.observed_files}/{est.total_files} files "
+            f"({100 * est.sample_fraction:.1f}% sample)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Fleet analysis (§3): are input bottlenecks common, and why?
+
+The paper measures two million production jobs; we generate a synthetic
+job population (random pipelines, configurations, hosts, and
+accelerators) and push every job through the same analytic operational
+model the rest of the library uses, then run the paper's measurement
+code: the ``Next``-latency CDF (Figure 3) and the CPU/memory-bandwidth
+utilization breakdown (Figure 4).
+"""
+
+from repro.fleet.analysis import FleetSummary, latency_fractions, summarize
+from repro.fleet.generator import FleetConfig, JobSample, generate_fleet
+
+__all__ = [
+    "FleetConfig",
+    "FleetSummary",
+    "JobSample",
+    "generate_fleet",
+    "latency_fractions",
+    "summarize",
+]

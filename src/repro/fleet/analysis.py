@@ -1,0 +1,103 @@
+"""Fleet measurement code: the Figure 3 CDF and Figure 4 breakdown.
+
+The paper's headline fleet numbers:
+
+* 92% of jobs exceed 50 µs mean ``Next`` latency, 62% exceed 1 ms,
+  16% exceed 100 ms (Fig. 3);
+* jobs above 100 ms average ~11% CPU and ~18% memory-bandwidth
+  utilization — host hardware is rarely saturated (Fig. 4, Obs. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.generator import JobSample
+
+#: Figure 3's thresholds (seconds).
+LATENCY_THRESHOLDS = (50e-6, 1e-3, 100e-3)
+
+
+@dataclass(frozen=True)
+class UtilizationBand:
+    """Mean utilizations for one latency band of jobs."""
+
+    label: str
+    jobs: int
+    mean_cpu: float
+    mean_membw: float
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """All fleet statistics the paper reports."""
+
+    num_jobs: int
+    frac_over_50us: float
+    frac_over_1ms: float
+    frac_over_100ms: float
+    bands: Tuple[UtilizationBand, ...]
+    frac_input_bound: float
+
+    def band(self, label: str) -> UtilizationBand:
+        """Look up a band by label."""
+        for b in self.bands:
+            if b.label == label:
+                return b
+        raise KeyError(f"no band {label!r}")
+
+
+def latency_fractions(
+    jobs: Sequence[JobSample],
+    thresholds: Sequence[float] = LATENCY_THRESHOLDS,
+) -> List[float]:
+    """Fraction of jobs whose mean Next latency exceeds each threshold."""
+    if not jobs:
+        raise ValueError("no jobs to analyze")
+    latencies = np.array([j.next_latency for j in jobs])
+    return [float(np.mean(latencies > t)) for t in thresholds]
+
+
+def latency_cdf(
+    jobs: Sequence[JobSample], points: int = 50
+) -> List[Tuple[float, float]]:
+    """(latency, fraction of jobs below) pairs — Figure 3's curve."""
+    latencies = np.sort([j.next_latency for j in jobs])
+    qs = np.linspace(0.0, 1.0, points)
+    return [(float(np.quantile(latencies, q)), float(q)) for q in qs]
+
+
+def summarize(jobs: Sequence[JobSample]) -> FleetSummary:
+    """Compute every fleet statistic the paper reports."""
+    over_50us, over_1ms, over_100ms = latency_fractions(jobs)
+    bands = []
+    for label, low, high in (
+        ("<50us", 0.0, 50e-6),
+        ("50us-100ms", 50e-6, 100e-3),
+        (">100ms", 100e-3, float("inf")),
+    ):
+        members = [j for j in jobs if low <= j.next_latency < high]
+        if members:
+            bands.append(
+                UtilizationBand(
+                    label=label,
+                    jobs=len(members),
+                    mean_cpu=float(np.mean([j.cpu_utilization for j in members])),
+                    mean_membw=float(
+                        np.mean([j.membw_utilization for j in members])
+                    ),
+                )
+            )
+        else:
+            bands.append(UtilizationBand(label, 0, 0.0, 0.0))
+    return FleetSummary(
+        num_jobs=len(jobs),
+        frac_over_50us=over_50us,
+        frac_over_1ms=over_1ms,
+        frac_over_100ms=over_100ms,
+        bands=tuple(bands),
+        frac_input_bound=float(np.mean([j.input_bound for j in jobs])),
+    )

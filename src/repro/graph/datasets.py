@@ -1,0 +1,572 @@
+"""Dataset node types and the :class:`Pipeline` container.
+
+The node vocabulary mirrors the ``tf.data`` operators that appear in the
+paper's five MLPerf pipelines (Figure 1, Figure 2, §2.1):
+
+* :class:`InterleaveSourceNode` — parallel reads over a file catalog
+  (``Interleave`` over per-file ``TFRecordDataset`` readers),
+* :class:`MapNode` — possibly-parallel UDF application,
+* :class:`FilterNode` — sequential predicate,
+* :class:`BatchNode` — grouping (optionally parallel, GNMT's
+  "inner-parallelism for Batching"),
+* :class:`ShuffleNode` / :class:`ShuffleAndRepeatNode` — sequential
+  buffered sampling,
+* :class:`RepeatNode`, :class:`TakeNode`,
+* :class:`PrefetchNode` — decoupling buffer,
+* :class:`CacheNode` — in-memory materialization.
+
+Nodes are immutable-ish descriptors; execution state lives in
+:mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.graph.udf import UserFunction
+
+#: Sentinel parallelism value meaning "let the tuner decide" (the paper's
+#: ``AUTOTUNE`` placeholder).
+AUTOTUNE = -1
+
+
+class DatasetNode:
+    """Base class for all dataset operators.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a pipeline; used as the rewrite key exactly as
+        the paper joins traced stats with the serialized program (§B).
+    inputs:
+        Child nodes this operator pulls from (source nodes have none).
+    parallelism:
+        Degree of parallelism if the node is tunable, else ``None``.
+    """
+
+    kind: str = "dataset"
+    #: whether ``parallelism`` may be rewritten by a tuner
+    tunable: bool = False
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence["DatasetNode"] = (),
+        parallelism: Optional[int] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("DatasetNode requires a non-empty name")
+        self.name = name
+        self.inputs: List[DatasetNode] = list(inputs)
+        self.parallelism = parallelism
+
+    # ------------------------------------------------------------------
+    # Structural properties used by the analysis layer.
+    # ------------------------------------------------------------------
+    @property
+    def sequential(self) -> bool:
+        """True if the node cannot use more than one core (θ_i ≤ 1)."""
+        return not self.tunable
+
+    @property
+    def effective_parallelism(self) -> int:
+        """Parallelism used at execution time (1 for sequential nodes)."""
+        if self.parallelism is None or self.parallelism == AUTOTUNE:
+            return 1
+        return max(1, int(self.parallelism))
+
+    @property
+    def udf(self) -> Optional[UserFunction]:
+        """The user function attached to this node, if any."""
+        return getattr(self, "_udf", None)
+
+    def elements_ratio(self) -> float:
+        """Mean elements produced per element consumed (the local visit
+        ratio ``C_i / C_{i-1}`` in steady state)."""
+        return 1.0
+
+    def attrs(self) -> dict:
+        """Node-specific serializable attributes."""
+        return {}
+
+    def copy_with(self, **overrides) -> "DatasetNode":
+        """Shallow-clone this node, overriding constructor kwargs.
+
+        ``inputs`` is always replaced by the caller during a graph clone;
+        other attributes default to their current values.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        par = f", parallelism={self.parallelism}" if self.tunable else ""
+        return f"{type(self).__name__}(name={self.name!r}{par})"
+
+
+class InterleaveSourceNode(DatasetNode):
+    """Parallel file reads: ``Interleave`` over per-file record readers.
+
+    ``parallelism`` is the cycle length (number of files read
+    concurrently); reads consume disk bandwidth in the simulated host.
+    """
+
+    kind = "interleave_source"
+    tunable = True
+
+    def __init__(
+        self,
+        name: str,
+        catalog,
+        parallelism: int = 1,
+        read_cpu_seconds_per_record: float = 0.0,
+    ) -> None:
+        super().__init__(name, inputs=(), parallelism=parallelism)
+        self.catalog = catalog
+        self.read_cpu_seconds_per_record = read_cpu_seconds_per_record
+
+    def elements_ratio(self) -> float:
+        return 1.0
+
+    def attrs(self) -> dict:
+        return {
+            "catalog": self.catalog.to_dict(),
+            "read_cpu_seconds_per_record": self.read_cpu_seconds_per_record,
+        }
+
+    def copy_with(self, **overrides) -> "InterleaveSourceNode":
+        return InterleaveSourceNode(
+            name=overrides.get("name", self.name),
+            catalog=overrides.get("catalog", self.catalog),
+            parallelism=overrides.get("parallelism", self.parallelism),
+            read_cpu_seconds_per_record=overrides.get(
+                "read_cpu_seconds_per_record", self.read_cpu_seconds_per_record
+            ),
+        )
+
+
+class MapNode(DatasetNode):
+    """Apply a UDF to every element, with optional parallelism.
+
+    ``sequential=True`` marks a map whose implementation cannot be
+    parallelized (stateful packing/grouping in the Flax text pipelines);
+    such nodes behave like any other sequential operator (θ ≤ 1).
+    """
+
+    kind = "map"
+    tunable = True
+
+    def __init__(
+        self,
+        name: str,
+        input_node: DatasetNode,
+        udf: UserFunction,
+        parallelism: int = 1,
+        sequential: bool = False,
+    ) -> None:
+        super().__init__(name, inputs=(input_node,), parallelism=parallelism)
+        self._udf = udf
+        if sequential:
+            # Instance attribute shadows the class-level ``tunable``.
+            self.tunable = False
+            self.parallelism = None
+
+    def elements_ratio(self) -> float:
+        return self._udf.examples_ratio
+
+    def attrs(self) -> dict:
+        return {"udf": self._udf.to_dict(), "sequential": not self.tunable}
+
+    def copy_with(self, **overrides) -> "MapNode":
+        return MapNode(
+            name=overrides.get("name", self.name),
+            input_node=overrides.get("input_node", self.inputs[0]),
+            udf=overrides.get("udf", self._udf),
+            parallelism=overrides.get("parallelism", self.parallelism),
+            sequential=overrides.get("sequential", not self.tunable),
+        )
+
+
+class FilterNode(DatasetNode):
+    """Sequential predicate; keeps ``keep_fraction`` of elements."""
+
+    kind = "filter"
+    tunable = False
+
+    def __init__(
+        self,
+        name: str,
+        input_node: DatasetNode,
+        udf: UserFunction,
+        keep_fraction: float = 1.0,
+    ) -> None:
+        super().__init__(name, inputs=(input_node,), parallelism=None)
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must be in [0, 1], got {keep_fraction}")
+        self._udf = udf
+        self.keep_fraction = keep_fraction
+
+    def elements_ratio(self) -> float:
+        return self.keep_fraction
+
+    def attrs(self) -> dict:
+        return {"udf": self._udf.to_dict(), "keep_fraction": self.keep_fraction}
+
+    def copy_with(self, **overrides) -> "FilterNode":
+        return FilterNode(
+            name=overrides.get("name", self.name),
+            input_node=overrides.get("input_node", self.inputs[0]),
+            udf=overrides.get("udf", self._udf),
+            keep_fraction=overrides.get("keep_fraction", self.keep_fraction),
+        )
+
+
+class BatchNode(DatasetNode):
+    """Group ``batch_size`` elements into one minibatch element."""
+
+    kind = "batch"
+    tunable = True
+
+    def __init__(
+        self,
+        name: str,
+        input_node: DatasetNode,
+        batch_size: int,
+        parallelism: int = 1,
+        cpu_seconds_per_example: float = 0.0,
+        drop_remainder: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        super().__init__(name, inputs=(input_node,), parallelism=parallelism)
+        self.batch_size = int(batch_size)
+        self.cpu_seconds_per_example = cpu_seconds_per_example
+        self.drop_remainder = drop_remainder
+
+    def elements_ratio(self) -> float:
+        return 1.0 / self.batch_size
+
+    def attrs(self) -> dict:
+        return {
+            "batch_size": self.batch_size,
+            "cpu_seconds_per_example": self.cpu_seconds_per_example,
+            "drop_remainder": self.drop_remainder,
+        }
+
+    def copy_with(self, **overrides) -> "BatchNode":
+        return BatchNode(
+            name=overrides.get("name", self.name),
+            input_node=overrides.get("input_node", self.inputs[0]),
+            batch_size=overrides.get("batch_size", self.batch_size),
+            parallelism=overrides.get("parallelism", self.parallelism),
+            cpu_seconds_per_example=overrides.get(
+                "cpu_seconds_per_example", self.cpu_seconds_per_example
+            ),
+            drop_remainder=overrides.get("drop_remainder", self.drop_remainder),
+        )
+
+
+class ShuffleNode(DatasetNode):
+    """Sequential buffered uniform shuffle."""
+
+    kind = "shuffle"
+    tunable = False
+
+    def __init__(
+        self,
+        name: str,
+        input_node: DatasetNode,
+        buffer_size: int,
+        cpu_seconds_per_element: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        super().__init__(name, inputs=(input_node,), parallelism=None)
+        self.buffer_size = int(buffer_size)
+        self.cpu_seconds_per_element = cpu_seconds_per_element
+        self.seed = seed
+
+    def attrs(self) -> dict:
+        return {
+            "buffer_size": self.buffer_size,
+            "cpu_seconds_per_element": self.cpu_seconds_per_element,
+            "seed": self.seed,
+        }
+
+    def copy_with(self, **overrides) -> "ShuffleNode":
+        return ShuffleNode(
+            name=overrides.get("name", self.name),
+            input_node=overrides.get("input_node", self.inputs[0]),
+            buffer_size=overrides.get("buffer_size", self.buffer_size),
+            cpu_seconds_per_element=overrides.get(
+                "cpu_seconds_per_element", self.cpu_seconds_per_element
+            ),
+            seed=overrides.get("seed", self.seed),
+        )
+
+
+class ShuffleAndRepeatNode(ShuffleNode):
+    """Fused sequential shuffle+repeat (GNMT's bottleneck in Fig. 9b)."""
+
+    kind = "shuffle_and_repeat"
+
+    def copy_with(self, **overrides) -> "ShuffleAndRepeatNode":
+        return ShuffleAndRepeatNode(
+            name=overrides.get("name", self.name),
+            input_node=overrides.get("input_node", self.inputs[0]),
+            buffer_size=overrides.get("buffer_size", self.buffer_size),
+            cpu_seconds_per_element=overrides.get(
+                "cpu_seconds_per_element", self.cpu_seconds_per_element
+            ),
+            seed=overrides.get("seed", self.seed),
+        )
+
+
+class RepeatNode(DatasetNode):
+    """Repeat the child dataset ``count`` times (``None`` = forever)."""
+
+    kind = "repeat"
+    tunable = False
+
+    def __init__(
+        self, name: str, input_node: DatasetNode, count: Optional[int] = None
+    ) -> None:
+        if count is not None and count < 1:
+            raise ValueError(f"repeat count must be >= 1 or None, got {count}")
+        super().__init__(name, inputs=(input_node,), parallelism=None)
+        self.count = count
+
+    def attrs(self) -> dict:
+        return {"count": self.count}
+
+    def copy_with(self, **overrides) -> "RepeatNode":
+        return RepeatNode(
+            name=overrides.get("name", self.name),
+            input_node=overrides.get("input_node", self.inputs[0]),
+            count=overrides.get("count", self.count),
+        )
+
+
+class TakeNode(DatasetNode):
+    """Truncate the stream after ``count`` elements."""
+
+    kind = "take"
+    tunable = False
+
+    def __init__(self, name: str, input_node: DatasetNode, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"take count must be >= 1, got {count}")
+        super().__init__(name, inputs=(input_node,), parallelism=None)
+        self.count = int(count)
+
+    def attrs(self) -> dict:
+        return {"count": self.count}
+
+    def copy_with(self, **overrides) -> "TakeNode":
+        return TakeNode(
+            name=overrides.get("name", self.name),
+            input_node=overrides.get("input_node", self.inputs[0]),
+            count=overrides.get("count", self.count),
+        )
+
+
+class PrefetchNode(DatasetNode):
+    """Decoupling buffer of ``buffer_size`` elements (software pipelining)."""
+
+    kind = "prefetch"
+    tunable = False
+
+    def __init__(self, name: str, input_node: DatasetNode, buffer_size: int) -> None:
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        super().__init__(name, inputs=(input_node,), parallelism=None)
+        self.buffer_size = int(buffer_size)
+
+    def attrs(self) -> dict:
+        return {"buffer_size": self.buffer_size}
+
+    def copy_with(self, **overrides) -> "PrefetchNode":
+        return PrefetchNode(
+            name=overrides.get("name", self.name),
+            input_node=overrides.get("input_node", self.inputs[0]),
+            buffer_size=overrides.get("buffer_size", self.buffer_size),
+        )
+
+
+class CacheNode(DatasetNode):
+    """Materialize the child's output (first pass) and serve from memory.
+
+    ``read_cpu_seconds_per_element`` models the cheap memory-copy cost of
+    serving a cached element.
+    """
+
+    kind = "cache"
+    tunable = False
+
+    def __init__(
+        self,
+        name: str,
+        input_node: DatasetNode,
+        storage: str = "memory",
+        read_cpu_seconds_per_element: float = 1e-6,
+    ) -> None:
+        if storage not in ("memory", "disk"):
+            raise ValueError(f"storage must be 'memory' or 'disk', got {storage!r}")
+        super().__init__(name, inputs=(input_node,), parallelism=None)
+        self.storage = storage
+        self.read_cpu_seconds_per_element = read_cpu_seconds_per_element
+
+    def attrs(self) -> dict:
+        return {
+            "storage": self.storage,
+            "read_cpu_seconds_per_element": self.read_cpu_seconds_per_element,
+        }
+
+    def copy_with(self, **overrides) -> "CacheNode":
+        return CacheNode(
+            name=overrides.get("name", self.name),
+            input_node=overrides.get("input_node", self.inputs[0]),
+            storage=overrides.get("storage", self.storage),
+            read_cpu_seconds_per_element=overrides.get(
+                "read_cpu_seconds_per_element", self.read_cpu_seconds_per_element
+            ),
+        )
+
+
+class Pipeline:
+    """A rooted dataset tree plus pipeline-level metadata.
+
+    The root produces the elements the model consumes (minibatches once a
+    :class:`BatchNode` is present). Iteration order in
+    :meth:`topological_order` is sources-first, root-last, matching the
+    direction of the byte-accounting recurrence in §A.
+    """
+
+    def __init__(self, root: DatasetNode, name: str = "pipeline") -> None:
+        self.root = root
+        self.name = name
+        self._check_unique_names()
+
+    # ------------------------------------------------------------------
+    def _check_unique_names(self) -> None:
+        seen: Dict[str, DatasetNode] = {}
+        for node in self.iter_nodes():
+            if node.name in seen and seen[node.name] is not node:
+                raise ValueError(f"duplicate node name {node.name!r} in pipeline")
+            seen[node.name] = node
+
+    def iter_nodes(self) -> Iterator[DatasetNode]:
+        """Yield nodes root-first (pre-order)."""
+        stack = [self.root]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            stack.extend(node.inputs)
+
+    def topological_order(self) -> List[DatasetNode]:
+        """Nodes ordered sources-first (children before parents)."""
+        order: List[DatasetNode] = []
+        seen = set()
+
+        def visit(node: DatasetNode) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for child in node.inputs:
+                visit(child)
+            order.append(node)
+
+        visit(self.root)
+        return order
+
+    @property
+    def nodes(self) -> Dict[str, DatasetNode]:
+        """Name → node mapping."""
+        return {n.name: n for n in self.iter_nodes()}
+
+    def node(self, name: str) -> DatasetNode:
+        """Look up a node by name, raising ``KeyError`` with context."""
+        nodes = self.nodes
+        if name not in nodes:
+            raise KeyError(
+                f"no node named {name!r}; have {sorted(nodes)}"
+            )
+        return nodes[name]
+
+    def sources(self) -> List[InterleaveSourceNode]:
+        """All source nodes, sources-first order."""
+        return [
+            n for n in self.topological_order() if isinstance(n, InterleaveSourceNode)
+        ]
+
+    def tunables(self) -> List[DatasetNode]:
+        """Nodes whose parallelism a tuner may rewrite."""
+        return [n for n in self.topological_order() if n.tunable]
+
+    def parent_of(self, name: str) -> Optional[DatasetNode]:
+        """The unique consumer of node ``name`` (``None`` for the root)."""
+        for node in self.iter_nodes():
+            for child in node.inputs:
+                if child.name == name:
+                    return node
+        return None
+
+    def visit_ratios(self) -> Dict[str, float]:
+        """Structural visit ratios V_i (root units per node element).
+
+        This is the *declared* recurrence ``V_i = r_i × V_{i-1}`` (§4.4)
+        computed from node semantics; the tracer recomputes the same
+        quantity from observed counters and the two must agree in steady
+        state (tested).
+        """
+        ratios: Dict[str, float] = {self.root.name: 1.0}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            v_parent = ratios[node.name]
+            for child in node.inputs:
+                # parent produces ``elements_ratio`` outputs per child
+                # element, so the child completes 1/ratio elements per
+                # parent completion.
+                ratio = node.elements_ratio()
+                if ratio <= 0:
+                    child_v = math.inf
+                else:
+                    child_v = v_parent / ratio
+                ratios[child.name] = child_v
+                stack.append(child)
+        return ratios
+
+    def batch_size(self) -> int:
+        """Examples per root element (product of batch sizes)."""
+        size = 1
+        for node in self.iter_nodes():
+            if isinstance(node, BatchNode):
+                size *= node.batch_size
+        return size
+
+    def clone(self) -> "Pipeline":
+        """Deep-copy the node structure (UDFs/catalogs shared)."""
+        mapping: Dict[int, DatasetNode] = {}
+
+        def copy(node: DatasetNode) -> DatasetNode:
+            if id(node) in mapping:
+                return mapping[id(node)]
+            new_inputs = [copy(c) for c in node.inputs]
+            if new_inputs:
+                clone = node.copy_with(input_node=new_inputs[0])
+                clone.inputs = new_inputs
+            else:
+                clone = node.copy_with()
+            mapping[id(node)] = clone
+            return clone
+
+        return Pipeline(copy(self.root), name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        chain = " <- ".join(n.name for n in self.topological_order())
+        return f"Pipeline({self.name!r}: {chain})"

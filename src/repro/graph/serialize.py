@@ -1,0 +1,150 @@
+"""Pipeline (de)serialization.
+
+Plumber dumps the serialized pipeline program next to the traced
+statistics so offline analysis can rebuild an in-memory model of the
+dataflow and *rewrite* it (§4.1, §B: "all Plumber traces are also valid
+programs"). We serialize to a JSON-compatible dict keyed by node name,
+which is also the rewrite key.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.graph.datasets import (
+    BatchNode,
+    CacheNode,
+    DatasetNode,
+    FilterNode,
+    InterleaveSourceNode,
+    MapNode,
+    Pipeline,
+    PrefetchNode,
+    RepeatNode,
+    ShuffleAndRepeatNode,
+    ShuffleNode,
+    TakeNode,
+)
+from repro.graph.udf import UserFunction
+from repro.io.filesystem import FileCatalog
+
+_FORMAT_VERSION = 1
+
+
+def pipeline_to_dict(pipeline: Pipeline) -> dict:
+    """Serialize a pipeline to a JSON-compatible dict."""
+    nodes = []
+    for node in pipeline.topological_order():
+        nodes.append(
+            {
+                "name": node.name,
+                "kind": node.kind,
+                "inputs": [c.name for c in node.inputs],
+                "parallelism": node.parallelism,
+                "attrs": node.attrs(),
+            }
+        )
+    return {"version": _FORMAT_VERSION, "name": pipeline.name, "nodes": nodes}
+
+
+def pipeline_to_json(pipeline: Pipeline) -> str:
+    """Serialize a pipeline to a JSON string."""
+    return json.dumps(pipeline_to_dict(pipeline), sort_keys=True)
+
+
+def _node_from_dict(spec: dict, resolved: Dict[str, DatasetNode]) -> DatasetNode:
+    kind = spec["kind"]
+    name = spec["name"]
+    attrs = spec.get("attrs", {})
+    inputs = [resolved[i] for i in spec.get("inputs", [])]
+    parallelism = spec.get("parallelism")
+
+    if kind == "interleave_source":
+        return InterleaveSourceNode(
+            name,
+            catalog=FileCatalog.from_dict(attrs["catalog"]),
+            parallelism=parallelism if parallelism is not None else 1,
+            read_cpu_seconds_per_record=attrs.get("read_cpu_seconds_per_record", 0.0),
+        )
+    if kind == "map":
+        return MapNode(
+            name,
+            inputs[0],
+            udf=UserFunction.from_dict(attrs["udf"]),
+            parallelism=parallelism if parallelism is not None else 1,
+            sequential=attrs.get("sequential", False),
+        )
+    if kind == "filter":
+        return FilterNode(
+            name,
+            inputs[0],
+            udf=UserFunction.from_dict(attrs["udf"]),
+            keep_fraction=attrs.get("keep_fraction", 1.0),
+        )
+    if kind == "batch":
+        return BatchNode(
+            name,
+            inputs[0],
+            batch_size=attrs["batch_size"],
+            parallelism=parallelism if parallelism is not None else 1,
+            cpu_seconds_per_example=attrs.get("cpu_seconds_per_example", 0.0),
+            drop_remainder=attrs.get("drop_remainder", True),
+        )
+    if kind == "shuffle":
+        return ShuffleNode(
+            name,
+            inputs[0],
+            buffer_size=attrs["buffer_size"],
+            cpu_seconds_per_element=attrs.get("cpu_seconds_per_element", 0.0),
+            seed=attrs.get("seed", 0),
+        )
+    if kind == "shuffle_and_repeat":
+        return ShuffleAndRepeatNode(
+            name,
+            inputs[0],
+            buffer_size=attrs["buffer_size"],
+            cpu_seconds_per_element=attrs.get("cpu_seconds_per_element", 0.0),
+            seed=attrs.get("seed", 0),
+        )
+    if kind == "repeat":
+        return RepeatNode(name, inputs[0], count=attrs.get("count"))
+    if kind == "take":
+        return TakeNode(name, inputs[0], count=attrs["count"])
+    if kind == "prefetch":
+        return PrefetchNode(name, inputs[0], buffer_size=attrs["buffer_size"])
+    if kind == "cache":
+        return CacheNode(
+            name,
+            inputs[0],
+            storage=attrs.get("storage", "memory"),
+            read_cpu_seconds_per_element=attrs.get(
+                "read_cpu_seconds_per_element", 1e-6
+            ),
+        )
+    raise ValueError(f"unknown node kind {kind!r}")
+
+
+def pipeline_from_dict(data: dict) -> Pipeline:
+    """Rebuild a pipeline from :func:`pipeline_to_dict` output."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported pipeline format version {version!r}; "
+            f"expected {_FORMAT_VERSION}"
+        )
+    resolved: Dict[str, DatasetNode] = {}
+    last: DatasetNode | None = None
+    for spec in data["nodes"]:
+        node = _node_from_dict(spec, resolved)
+        resolved[node.name] = node
+        last = node
+    if last is None:
+        raise ValueError("pipeline has no nodes")
+    # Nodes are serialized sources-first; the last one is the root.
+    return Pipeline(last, name=data.get("name", "pipeline"))
+
+
+def pipeline_from_json(text: str) -> Pipeline:
+    """Rebuild a pipeline from :func:`pipeline_to_json` output."""
+    return pipeline_from_dict(json.loads(text))

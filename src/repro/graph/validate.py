@@ -1,0 +1,118 @@
+"""Structural validation of pipelines.
+
+Catches the misconfigurations that would otherwise surface as confusing
+runtime failures: duplicate names, dangling inputs, cycles, non-positive
+tunables, batch-after-batch of minibatches, and cache-above-repeat
+(which would try to materialize an infinite stream).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.datasets import (
+    BatchNode,
+    CacheNode,
+    DatasetNode,
+    InterleaveSourceNode,
+    Pipeline,
+    RepeatNode,
+)
+
+
+class GraphValidationError(ValueError):
+    """Raised when a pipeline fails structural validation."""
+
+
+def validate_pipeline(pipeline: Pipeline) -> None:
+    """Validate ``pipeline``, raising :class:`GraphValidationError`.
+
+    Checks:
+    * at least one source, every non-source has exactly one input,
+    * no cycles (topological order covers all reachable nodes),
+    * unique node names,
+    * parallelism >= 1 on tunable nodes when set,
+    * no cache above an unbounded repeat or shuffle_and_repeat.
+    """
+    errors: List[str] = []
+    order = pipeline.topological_order()
+
+    names = [n.name for n in order]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        errors.append(f"duplicate node names: {dupes}")
+
+    sources = [n for n in order if isinstance(n, InterleaveSourceNode)]
+    if not sources:
+        errors.append("pipeline has no source node")
+
+    for node in order:
+        if isinstance(node, InterleaveSourceNode):
+            if node.inputs:
+                errors.append(f"source {node.name!r} must have no inputs")
+        elif len(node.inputs) != 1:
+            errors.append(
+                f"node {node.name!r} must have exactly one input, "
+                f"has {len(node.inputs)}"
+            )
+        if node.tunable and node.parallelism is not None and node.parallelism == 0:
+            errors.append(f"node {node.name!r} has parallelism 0")
+        if (
+            node.tunable
+            and node.parallelism is not None
+            and node.parallelism < -1
+        ):
+            errors.append(
+                f"node {node.name!r} has invalid parallelism {node.parallelism}"
+            )
+
+    _check_cycles(pipeline, errors)
+    _check_cache_above_repeat(order, errors)
+
+    if errors:
+        raise GraphValidationError("; ".join(errors))
+
+
+def _check_cycles(pipeline: Pipeline, errors: List[str]) -> None:
+    visiting: set = set()
+    done: set = set()
+
+    def visit(node: DatasetNode) -> bool:
+        if id(node) in done:
+            return True
+        if id(node) in visiting:
+            errors.append(f"cycle detected through node {node.name!r}")
+            return False
+        visiting.add(id(node))
+        ok = all(visit(c) for c in node.inputs)
+        visiting.discard(id(node))
+        done.add(id(node))
+        return ok
+
+    visit(pipeline.root)
+
+
+def _check_cache_above_repeat(order: List[DatasetNode], errors: List[str]) -> None:
+    """A cache must not materialize an already-infinite stream."""
+
+    def subtree_infinite(node: DatasetNode) -> bool:
+        if isinstance(node, RepeatNode) and node.count is None:
+            return True
+        if node.kind == "shuffle_and_repeat":
+            return True
+        return any(subtree_infinite(c) for c in node.inputs)
+
+    for node in order:
+        if isinstance(node, CacheNode) and subtree_infinite(node.inputs[0]):
+            errors.append(
+                f"cache {node.name!r} placed above an unbounded repeat; "
+                "it would materialize an infinite stream"
+            )
+
+
+def find_batch_node(pipeline: Pipeline) -> BatchNode | None:
+    """Return the (outermost) batch node, if any."""
+    for node in pipeline.topological_order():
+        if isinstance(node, BatchNode):
+            return node
+    return None

@@ -1,0 +1,25 @@
+"""Simulated host hardware: machines, disks, memory.
+
+The paper evaluates on three setups (§5): a 16-core AMD 2700X (A), a
+32-core Xeon E5-2698Bv3 (B), and a TPUv3-8 host with 96 Xeon cores (C).
+These presets carry the parameters the operational model consumes: core
+count, per-core speed, memory capacity, and attached storage bandwidth
+curves.
+"""
+
+from repro.host.disk import DiskSpec, cloud_storage, hdd_st4000, nvme_p3600, token_bucket
+from repro.host.machine import Machine, setup_a, setup_b, setup_c
+from repro.host.memory import MemoryBudget
+
+__all__ = [
+    "DiskSpec",
+    "Machine",
+    "MemoryBudget",
+    "cloud_storage",
+    "hdd_st4000",
+    "nvme_p3600",
+    "setup_a",
+    "setup_b",
+    "setup_c",
+    "token_bucket",
+]

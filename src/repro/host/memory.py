@@ -1,0 +1,80 @@
+"""Host memory accounting for cache planning.
+
+Plumber's optimizer "knows that the machine only has 300GB of memory and
+thus it must settle with caching at the 148GB Interleave" (§4.1).
+:class:`MemoryBudget` is that ledger: reservations against capacity with
+a configurable headroom fraction kept free for the training process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class MemoryError_(RuntimeError):
+    """Raised when a reservation exceeds the remaining budget."""
+
+
+@dataclass
+class MemoryBudget:
+    """Tracks cache reservations against host RAM.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total host memory.
+    headroom_fraction:
+        Fraction of capacity reserved for the model/runtime and never
+        given to caches.
+    """
+
+    capacity_bytes: float
+    headroom_fraction: float = 0.1
+    _reservations: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"capacity must be > 0, got {self.capacity_bytes}")
+        if not 0.0 <= self.headroom_fraction < 1.0:
+            raise ValueError(
+                f"headroom_fraction must be in [0, 1), got {self.headroom_fraction}"
+            )
+
+    @property
+    def usable_bytes(self) -> float:
+        """Capacity minus headroom."""
+        return self.capacity_bytes * (1.0 - self.headroom_fraction)
+
+    @property
+    def reserved_bytes(self) -> float:
+        """Sum of active reservations."""
+        return sum(self._reservations.values())
+
+    @property
+    def available_bytes(self) -> float:
+        """Bytes still available for new reservations."""
+        return self.usable_bytes - self.reserved_bytes
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether a reservation of ``nbytes`` would succeed."""
+        return nbytes <= self.available_bytes
+
+    def reserve(self, key: str, nbytes: float) -> None:
+        """Reserve ``nbytes`` under ``key``; raises if it doesn't fit."""
+        if nbytes < 0:
+            raise ValueError(f"cannot reserve negative bytes ({nbytes})")
+        if key in self._reservations:
+            raise MemoryError_(f"key {key!r} already has a reservation")
+        if not self.fits(nbytes):
+            raise MemoryError_(
+                f"reservation {key!r} of {nbytes / 1e9:.1f} GB exceeds "
+                f"available {self.available_bytes / 1e9:.1f} GB"
+            )
+        self._reservations[key] = nbytes
+
+    def release(self, key: str) -> float:
+        """Release the reservation under ``key``, returning its size."""
+        if key not in self._reservations:
+            raise KeyError(f"no reservation under {key!r}")
+        return self._reservations.pop(key)

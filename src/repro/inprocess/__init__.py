@@ -1,0 +1,18 @@
+"""A real (non-simulated) in-process executor.
+
+Runs pipelines over actual Python data, preserving element-level
+semantics: UDFs are called, filters predicate, shuffles reorder with a
+seeded RNG, caches memoize, batches group. Used for semantic tests and
+the quickstart; a wall-clock tracer produces the same
+:class:`~repro.core.trace.PipelineTrace` shape as the simulator so
+Plumber can analyze real runs too.
+"""
+
+from repro.inprocess.executor import (
+    InProcessError,
+    iterate,
+    materialize,
+    trace_real_run,
+)
+
+__all__ = ["InProcessError", "iterate", "materialize", "trace_real_run"]

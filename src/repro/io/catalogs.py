@@ -1,0 +1,102 @@
+"""Dataset catalog presets matching the paper's statistics (§D, §5.3).
+
+* ImageNet: 1024 files x ~1200 records x ~110 KB ≈ 148 GB (train).
+* ImageNet validation: 50k images, ~6.4 GB — the set ResNetLinear caches
+  decoded (§5.4).
+* COCO: 20 GB shared by Mask-RCNN and MultiBoxSSD.
+* WMT17 (Transformer): 1.2 GB processed text.
+* WMT16 (GNMT): 1.9 GB processed text.
+
+All presets accept a ``scale`` factor so simulations stay laptop-sized
+while preserving per-file statistics; Plumber's estimators only see
+per-file sizes and ratios, so scaling does not change the math.
+"""
+
+from __future__ import annotations
+
+from repro.io.filesystem import FileCatalog
+
+GB = 1e9
+KB = 1e3
+
+
+def imagenet_catalog(scale: float = 1.0, seed: int = 1) -> FileCatalog:
+    """ImageNet train set: 1024 files, 1.2M images, ~148 GB."""
+    cat = FileCatalog(
+        name="imagenet",
+        num_files=1024,
+        records_per_file=1200.0,
+        bytes_per_record=115.0 * KB,
+        size_cv=0.12,
+        seed=seed,
+    )
+    return cat if scale == 1.0 else cat.scaled(scale)
+
+
+def imagenet_validation_catalog(scale: float = 1.0, seed: int = 2) -> FileCatalog:
+    """ImageNet validation set: 128 files, 50k images, ~5.8 GB."""
+    cat = FileCatalog(
+        name="imagenet-val",
+        num_files=128,
+        records_per_file=390.0,
+        bytes_per_record=115.0 * KB,
+        size_cv=0.12,
+        seed=seed,
+    )
+    return cat if scale == 1.0 else cat.scaled(scale)
+
+
+def coco_catalog(scale: float = 1.0, seed: int = 3) -> FileCatalog:
+    """MS-COCO: 256 files, ~118k images, ~20 GB."""
+    cat = FileCatalog(
+        name="coco",
+        num_files=256,
+        records_per_file=460.0,
+        bytes_per_record=170.0 * KB,
+        size_cv=0.08,
+        seed=seed,
+    )
+    return cat if scale == 1.0 else cat.scaled(scale)
+
+
+def wmt17_catalog(scale: float = 1.0, seed: int = 4) -> FileCatalog:
+    """WMT17 EN-DE (Transformer): ~1.2 GB of packed text."""
+    cat = FileCatalog(
+        name="wmt17",
+        num_files=100,
+        records_per_file=45_000.0,
+        bytes_per_record=266.0,
+        size_cv=0.1,
+        seed=seed,
+    )
+    return cat if scale == 1.0 else cat.scaled(scale)
+
+
+def wmt16_catalog(scale: float = 1.0, seed: int = 5) -> FileCatalog:
+    """WMT16 EN-DE (GNMT): ~1.9 GB of packed text."""
+    cat = FileCatalog(
+        name="wmt16",
+        num_files=100,
+        records_per_file=68_000.0,
+        bytes_per_record=280.0,
+        size_cv=0.1,
+        seed=seed,
+    )
+    return cat if scale == 1.0 else cat.scaled(scale)
+
+
+def toy_catalog(
+    num_files: int = 8,
+    records_per_file: float = 64.0,
+    bytes_per_record: float = 1024.0,
+    seed: int = 0,
+) -> FileCatalog:
+    """A small catalog for unit tests and the quickstart example."""
+    return FileCatalog(
+        name="toy",
+        num_files=num_files,
+        records_per_file=records_per_file,
+        bytes_per_record=bytes_per_record,
+        size_cv=0.1,
+        seed=seed,
+    )

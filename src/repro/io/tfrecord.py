@@ -1,0 +1,85 @@
+"""A minimal model of the TFRecord on-disk format.
+
+Plumber's tracer instruments ``read()`` calls and unpacks records from
+files (§4.1: "Each record is unpacked into roughly 1200 elements").
+For the simulator we only need the framing arithmetic: how many payload
+bytes a record of a given example size occupies, and how many records fit
+in a file. The in-process executor uses :meth:`encode`/:meth:`decode`
+to round-trip real payloads with the same framing.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List
+
+#: TFRecord framing: u64 length + u32 length-crc + payload + u32 data-crc.
+_HEADER_BYTES = 8 + 4
+_FOOTER_BYTES = 4
+_LENGTH_STRUCT = struct.Struct("<Q")
+_CRC_STRUCT = struct.Struct("<I")
+
+
+def _masked_crc(data: bytes) -> int:
+    """TFRecord's masked CRC32C, approximated with CRC32 (same width)."""
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    return ((crc >> 15) | (crc << 17)) + 0xA282EAD8 & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class TFRecordFormat:
+    """Framing arithmetic for TFRecord-style files."""
+
+    header_bytes: int = _HEADER_BYTES
+    footer_bytes: int = _FOOTER_BYTES
+
+    def record_bytes(self, payload_bytes: float) -> float:
+        """On-disk bytes for one record with ``payload_bytes`` payload."""
+        if payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be >= 0, got {payload_bytes}")
+        return payload_bytes + self.header_bytes + self.footer_bytes
+
+    def records_in_file(self, file_bytes: float, payload_bytes: float) -> int:
+        """How many records of ``payload_bytes`` fit in ``file_bytes``."""
+        per = self.record_bytes(payload_bytes)
+        if per <= 0:
+            return 0
+        return int(file_bytes // per)
+
+    # ------------------------------------------------------------------
+    # Real encode/decode for the in-process executor.
+    # ------------------------------------------------------------------
+    def encode(self, payloads: List[bytes]) -> bytes:
+        """Pack payloads into a TFRecord-framed byte string."""
+        out = bytearray()
+        for payload in payloads:
+            length = _LENGTH_STRUCT.pack(len(payload))
+            out += length
+            out += _CRC_STRUCT.pack(_masked_crc(length))
+            out += payload
+            out += _CRC_STRUCT.pack(_masked_crc(payload))
+        return bytes(out)
+
+    def decode(self, blob: bytes) -> Iterator[bytes]:
+        """Unpack a framed byte string, verifying CRCs."""
+        offset = 0
+        n = len(blob)
+        while offset < n:
+            if offset + _HEADER_BYTES > n:
+                raise ValueError("truncated TFRecord header")
+            (length,) = _LENGTH_STRUCT.unpack_from(blob, offset)
+            (length_crc,) = _CRC_STRUCT.unpack_from(blob, offset + 8)
+            if length_crc != _masked_crc(blob[offset : offset + 8]):
+                raise ValueError("corrupt TFRecord length CRC")
+            start = offset + _HEADER_BYTES
+            end = start + length
+            if end + _FOOTER_BYTES > n:
+                raise ValueError("truncated TFRecord payload")
+            payload = blob[start:end]
+            (data_crc,) = _CRC_STRUCT.unpack_from(blob, end)
+            if data_crc != _masked_crc(payload):
+                raise ValueError("corrupt TFRecord data CRC")
+            yield payload
+            offset = end + _FOOTER_BYTES

@@ -1,0 +1,35 @@
+"""Discrete-event simulated executor for dataset pipelines.
+
+This is the ``tf.data`` runtime substitute: a virtual-clock simulation of
+worker threads, bounded inter-stage queues, an FCFS core scheduler with
+an oversubscription penalty, and a fair-share disk. It exposes exactly
+the per-iterator counters Plumber's tracer reads (§4.1: counts, active
+CPU-time, bytes — "less than 144 bytes per Dataset").
+"""
+
+from repro.runtime.engine import Compute, Get, Processes, Put, Read, Simulation, Timeout
+from repro.runtime.executor import (
+    BenchmarkConsumer,
+    ModelConsumer,
+    RunConfig,
+    RunResult,
+    run_pipeline,
+)
+from repro.runtime.stats import NodeStats, StatsBoard
+
+__all__ = [
+    "BenchmarkConsumer",
+    "Compute",
+    "Get",
+    "ModelConsumer",
+    "NodeStats",
+    "Processes",
+    "Put",
+    "Read",
+    "RunConfig",
+    "RunResult",
+    "Simulation",
+    "StatsBoard",
+    "Timeout",
+    "run_pipeline",
+]

@@ -1,0 +1,434 @@
+"""The discrete-event simulation core.
+
+Processes are Python generators that ``yield`` request objects:
+
+* :class:`Timeout` — advance the virtual clock for this process,
+* :class:`Compute` — occupy CPU cores via the core scheduler,
+* :class:`Read` — pull bytes through the fair-share disk server,
+* :class:`Put` / :class:`Get` — blocking bounded-queue operations.
+
+The engine is single-threaded and deterministic: events at equal times
+are ordered by insertion sequence. ``Get`` returns either an item or the
+:data:`EOS` sentinel once the queue is closed and drained — that is the
+end-of-stream protocol between pipeline stages.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Generator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine protocol violations (put-after-close, etc.)."""
+
+
+class _EndOfStream:
+    """Singleton sentinel signalling a closed, drained queue."""
+
+    _instance: Optional["_EndOfStream"] = None
+
+    def __new__(cls) -> "_EndOfStream":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "EOS"
+
+
+#: End-of-stream sentinel returned by ``Get`` on a closed, empty queue.
+EOS = _EndOfStream()
+
+
+# ----------------------------------------------------------------------
+# Request objects yielded by processes.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Timeout:
+    """Sleep for ``delay`` virtual seconds (does not occupy a core)."""
+
+    delay: float
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Occupy ``width`` cores for ``seconds`` of service time."""
+
+    seconds: float
+    width: float = 1.0
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read ``nbytes`` through the disk server."""
+
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class Put:
+    """Put ``item`` into ``queue``, blocking while full."""
+
+    queue: "SimQueue"
+    item: Any
+
+
+@dataclass(frozen=True)
+class Get:
+    """Take one item from ``queue``, blocking while empty.
+
+    Resumes with the item, or :data:`EOS` if the queue is closed and
+    drained.
+    """
+
+    queue: "SimQueue"
+
+
+class Process:
+    """A running generator inside the simulation."""
+
+    __slots__ = ("sim", "gen", "name", "finished")
+
+    def __init__(self, sim: "Simulation", gen: Generator, name: str) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+
+    def resume(self, value: Any = None) -> None:
+        """Advance the generator with ``value`` and dispatch its next
+        request. Called only by the engine."""
+        try:
+            request = self.gen.send(value)
+        except StopIteration:
+            self.finished = True
+            return
+        self.sim._dispatch(self, request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else "live"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulation:
+    """Event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._handlers = {
+            Timeout: self._handle_timeout,
+            Put: self._handle_put,
+            Get: self._handle_get,
+        }
+        #: set by the executor; handles Compute requests
+        self.cores: Optional["CoreScheduler"] = None
+        #: set by the executor; handles Read requests
+        self.disk: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, args))
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Register a new process and start it at the current time."""
+        proc = Process(self, gen, name)
+        self.schedule(0.0, proc.resume, None)
+        return proc
+
+    def run(self, until: float) -> float:
+        """Run events until the clock reaches ``until`` or the event heap
+        drains (e.g. a single-epoch pipeline finished early). Returns the
+        final clock value."""
+        while self._heap:
+            time, _, callback, args = self._heap[0]
+            if time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            callback(*args)
+        return self.now
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, proc: Process, request: Any) -> None:
+        handler = self._handlers.get(type(request))
+        if handler is not None:
+            handler(proc, request)
+        elif isinstance(request, Compute):
+            if self.cores is None:
+                raise SimulationError("Compute yielded but no CoreScheduler set")
+            self.cores.submit(proc, request.seconds, request.width)
+        elif isinstance(request, Read):
+            if self.disk is None:
+                raise SimulationError("Read yielded but no disk server set")
+            self.disk.submit(proc, request.nbytes)
+        else:
+            raise SimulationError(f"unknown request {request!r} from {proc!r}")
+
+    def _handle_timeout(self, proc: Process, request: Timeout) -> None:
+        self.schedule(request.delay, proc.resume, None)
+
+    def _handle_put(self, proc: Process, request: Put) -> None:
+        request.queue._put(proc, request.item)
+
+    def _handle_get(self, proc: Process, request: Get) -> None:
+        request.queue._get(proc)
+
+
+class SimQueue:
+    """Bounded FIFO queue with blocking put/get and a close protocol.
+
+    Closing wakes all blocked getters with :data:`EOS`; once closed and
+    drained, every ``Get`` resumes immediately with :data:`EOS`.
+    """
+
+    def __init__(self, sim: Simulation, capacity: int, name: str = "queue") -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._putters: Deque = deque()  # (proc, item)
+        self._getters: Deque[Process] = deque()
+        self.closed = False
+        # Telemetry for the prefetch planner: time-integrated occupancy.
+        self._occ_integral = 0.0
+        self._occ_last_t = sim.now
+
+    # ------------------------------------------------------------------
+    def _track(self) -> None:
+        now = self.sim.now
+        self._occ_integral += len(self.items) * (now - self._occ_last_t)
+        self._occ_last_t = now
+
+    def mean_occupancy(self) -> float:
+        """Time-averaged queue length so far."""
+        self._track()
+        if self._occ_last_t <= 0:
+            return 0.0
+        return self._occ_integral / self._occ_last_t
+
+    # ------------------------------------------------------------------
+    def _put(self, proc: Process, item: Any) -> None:
+        if self.closed:
+            raise SimulationError(f"put on closed queue {self.name!r}")
+        self._track()
+        if self._getters:
+            getter = self._getters.popleft()
+            self.sim.schedule(0.0, getter.resume, item)
+            self.sim.schedule(0.0, proc.resume, None)
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            self.sim.schedule(0.0, proc.resume, None)
+        else:
+            self._putters.append((proc, item))
+
+    def _get(self, proc: Process) -> None:
+        self._track()
+        if self.items:
+            item = self.items.popleft()
+            if self._putters:
+                putter, pending = self._putters.popleft()
+                self.items.append(pending)
+                self.sim.schedule(0.0, putter.resume, None)
+            self.sim.schedule(0.0, proc.resume, item)
+        elif self._putters:
+            # capacity reached with direct handoff pending
+            putter, pending = self._putters.popleft()
+            self.sim.schedule(0.0, putter.resume, None)
+            self.sim.schedule(0.0, proc.resume, pending)
+        elif self.closed:
+            self.sim.schedule(0.0, proc.resume, EOS)
+        else:
+            self._getters.append(proc)
+
+    def close(self) -> None:
+        """Mark the stream ended; wake blocked getters with EOS."""
+        if self.closed:
+            return
+        self.closed = True
+        while self._getters:
+            getter = self._getters.popleft()
+            self.sim.schedule(0.0, getter.resume, EOS)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class CoreScheduler:
+    """FCFS core allocation with an oversubscription penalty.
+
+    A :class:`Compute` request of width ``w`` (UDF-internal threads)
+    waits for ``w`` free cores, then holds them for the service time
+    inflated by the static oversubscription factor — the mechanism behind
+    the paper's RCNN over-allocation cliff (Obs. 5).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        capacity: float,
+        oversubscription_penalty: float = 0.0,
+        total_threads: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"core capacity must be > 0, got {capacity}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.free = float(capacity)
+        self._waiting: Deque = deque()  # (proc, seconds, width)
+        self.penalty = self._penalty_factor(oversubscription_penalty, total_threads)
+        # Telemetry: integral of busy cores over time (CPU utilization).
+        self._busy_integral = 0.0
+        self._busy_last_t = sim.now
+
+    def _penalty_factor(self, slope: float, threads: float) -> float:
+        if threads <= self.capacity or slope <= 0:
+            return 1.0
+        return 1.0 + slope * (threads / self.capacity - 1.0)
+
+    def _track(self) -> None:
+        now = self.sim.now
+        self._busy_integral += (self.capacity - self.free) * (now - self._busy_last_t)
+        self._busy_last_t = now
+
+    def utilization(self, duration: float) -> float:
+        """Mean fraction of cores busy over ``duration``."""
+        self._track()
+        if duration <= 0:
+            return 0.0
+        return self._busy_integral / (self.capacity * duration)
+
+    # ------------------------------------------------------------------
+    def submit(self, proc: Process, seconds: float, width: float) -> None:
+        width = min(width, self.capacity)
+        if seconds < 0:
+            raise SimulationError(f"negative compute time {seconds}")
+        if seconds == 0:
+            self.sim.schedule(0.0, proc.resume, None)
+            return
+        if self.free >= width and not self._waiting:
+            self._start(proc, seconds, width)
+        else:
+            self._waiting.append((proc, seconds, width))
+
+    def _start(self, proc: Process, seconds: float, width: float) -> None:
+        self._track()
+        self.free -= width
+        self.sim.schedule(seconds * self.penalty, self._finish, proc, width)
+
+    def _finish(self, proc: Process, width: float) -> None:
+        self._track()
+        self.free += width
+        self.sim.schedule(0.0, proc.resume, None)
+        while self._waiting and self.free >= self._waiting[0][2]:
+            waiting_proc, seconds, w = self._waiting.popleft()
+            self._start(waiting_proc, seconds, w)
+
+
+class FairShareDisk:
+    """Fair-share disk server driven by a :class:`~repro.host.disk.DiskSpec`.
+
+    Active reads share aggregate bandwidth ``B(k)`` equally, where ``k``
+    is the number of concurrent streams; the aggregate follows the
+    spec's parallelism curve. Per-read fixed latency models seek/request
+    setup.
+    """
+
+    #: reads with fewer remaining bytes than this are considered done
+    #: (guards against float underflow livelock at a single timestamp)
+    _EPS_BYTES = 1e-3
+
+    def __init__(self, sim: Simulation, spec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self._active: dict = {}  # proc -> remaining bytes
+        self._last_t = sim.now
+        self._version = 0
+        self.total_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    def submit(self, proc: Process, nbytes: float) -> None:
+        if nbytes < 0:
+            raise SimulationError(f"negative read size {nbytes}")
+        if nbytes == 0:
+            self.sim.schedule(0.0, proc.resume, None)
+            return
+        self.total_bytes += nbytes
+        if self.spec.read_latency > 0:
+            self.sim.schedule(self.spec.read_latency, self._admit, proc, nbytes)
+        else:
+            self._admit(proc, nbytes)
+
+    def _admit(self, proc: Process, nbytes: float) -> None:
+        self._advance()
+        self._active[proc] = nbytes
+        self._reschedule()
+
+    def _per_stream_rate(self) -> float:
+        k = len(self._active)
+        if k == 0:
+            return 0.0
+        return self.spec.bandwidth(k) / k
+
+    def _advance(self) -> None:
+        """Account progress since the last disk event."""
+        now = self.sim.now
+        dt = now - self._last_t
+        self._last_t = now
+        if dt <= 0 or not self._active:
+            return
+        rate = self._per_stream_rate()
+        done = dt * rate
+        for proc in list(self._active):
+            self._active[proc] = max(0.0, self._active[proc] - done)
+
+    def _reschedule(self) -> None:
+        self._version += 1
+        if not self._active:
+            return
+        rate = self._per_stream_rate()
+        if rate <= 0:
+            raise SimulationError("disk has active reads but zero bandwidth")
+        min_remaining = min(self._active.values())
+        delay = 0.0 if min_remaining <= self._EPS_BYTES else min_remaining / rate
+        self.sim.schedule(delay, self._complete, self._version)
+
+    def _complete(self, version: int) -> None:
+        if version != self._version:
+            return  # stale completion event
+        self._advance()
+        finished = [
+            p for p, rem in self._active.items() if rem <= self._EPS_BYTES
+        ]
+        if not finished and self._active:
+            # Float rounding left the soonest read marginally above the
+            # epsilon at the scheduled completion time; force it done.
+            soonest = min(self._active, key=self._active.get)
+            finished = [soonest]
+        for proc in finished:
+            del self._active[proc]
+            self.sim.schedule(0.0, proc.resume, None)
+        self._reschedule()
+
+
+class Processes:
+    """Small helpers for writing worker generators."""
+
+    @staticmethod
+    def drain(queue: SimQueue) -> Generator:
+        """Consume and discard everything until EOS."""
+        while True:
+            item = yield Get(queue)
+            if item is EOS:
+                return

@@ -1,0 +1,302 @@
+"""Top-level simulated execution: build, run, and measure a pipeline.
+
+:func:`run_pipeline` wires the iterator workers together on a simulated
+:class:`~repro.host.machine.Machine`, runs for a virtual duration with a
+warmup window trimmed, and returns a :class:`RunResult` carrying the
+throughput, per-node counter deltas, consumer ``Next``-latency, and
+resource utilization — everything Plumber's tracer and the fleet
+analysis consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.graph.datasets import (
+    CacheNode,
+    InterleaveSourceNode,
+    Pipeline,
+    PrefetchNode,
+    RepeatNode,
+)
+from repro.graph.validate import validate_pipeline
+from repro.host.machine import Machine
+from repro.runtime.engine import (
+    EOS,
+    CoreScheduler,
+    FairShareDisk,
+    Get,
+    SimQueue,
+    Simulation,
+    Timeout,
+)
+from repro.runtime.iterators import (
+    ExecContext,
+    FileCursor,
+    build_stage,
+    expected_elements_per_chunk,
+)
+from repro.runtime.stats import NodeStats, StatsBoard
+
+
+@dataclass
+class BenchmarkConsumer:
+    """Pulls as fast as possible (microbenchmark mode, §5.1)."""
+
+    step_seconds_per_element: float = 0.0
+
+
+@dataclass
+class ModelConsumer:
+    """Pulls at the model's training-step rate (end-to-end mode, §5.4).
+
+    ``step_seconds_per_element`` is seconds of accelerator time per root
+    element (minibatch).
+    """
+
+    step_seconds_per_element: float
+
+    def __post_init__(self) -> None:
+        if self.step_seconds_per_element < 0:
+            raise ValueError("step time must be >= 0")
+
+
+@dataclass
+class RunConfig:
+    """Knobs for one simulated run."""
+
+    duration: float = 5.0
+    warmup: float = 1.0
+    trace: bool = True
+    granularity: Optional[int] = None
+    consumer: object = field(default_factory=BenchmarkConsumer)
+    epochs: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError("warmup must be in [0, duration)")
+        if self.granularity is not None and self.granularity < 1:
+            raise ValueError("granularity must be >= 1")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    pipeline: Pipeline
+    machine: Machine
+    config: RunConfig
+    stats: Dict[str, NodeStats]            # measurement-window deltas
+    cumulative_stats: Dict[str, NodeStats]  # full-run counters
+    minibatches: float
+    measured_seconds: float
+    throughput: float                       # root elements / second
+    next_latency: float                     # mean blocked time per element
+    cpu_utilization: float
+    disk_bytes: float
+    cache_bytes: Dict[str, float]
+    completed: bool                         # stream drained before time limit
+
+    @property
+    def examples_per_second(self) -> float:
+        """Throughput in examples (images/sentences) per second."""
+        return self.throughput * self.pipeline.batch_size()
+
+
+class _Consumer:
+    """Root-queue puller that records minibatch counts and Next latency."""
+
+    def __init__(self, sim: Simulation, root_q: SimQueue, step_per_element: float):
+        self.sim = sim
+        self.root_q = root_q
+        self.step_per_element = step_per_element
+        self.elements = 0.0
+        self.wait_seconds = 0.0
+        self.done = False
+
+    def run(self):
+        while True:
+            t0 = self.sim.now
+            item = yield Get(self.root_q)
+            if item is EOS:
+                self.done = True
+                return
+            self.wait_seconds += self.sim.now - t0
+            self.elements += item.count
+            if self.step_per_element > 0:
+                yield Timeout(self.step_per_element * item.count)
+
+    def snapshot(self) -> tuple:
+        return (self.elements, self.wait_seconds)
+
+
+def _pipeline_epochs(pipeline: Pipeline) -> float:
+    """Total passes over the data implied by repeat nodes."""
+    epochs = 1.0
+    for node in pipeline.iter_nodes():
+        if isinstance(node, RepeatNode):
+            epochs *= math.inf if node.count is None else node.count
+        elif node.kind == "shuffle_and_repeat":
+            epochs *= math.inf
+    return epochs
+
+
+def _auto_granularity(pipeline: Pipeline) -> int:
+    batch = pipeline.batch_size()
+    return int(min(64, max(1, batch // 8)))
+
+
+def _total_threads(pipeline: Pipeline) -> float:
+    """Worker threads the pipeline spawns (for the oversubscription
+    penalty): parallelism x UDF-internal threads, +1 per sequential op."""
+    total = 0.0
+    for node in pipeline.topological_order():
+        internal = 1.0
+        if node.udf is not None:
+            internal = node.udf.cost.internal_parallelism
+        total += node.effective_parallelism * internal
+    return total
+
+
+def run_pipeline(
+    pipeline: Pipeline,
+    machine: Machine,
+    config: Optional[RunConfig] = None,
+    **config_overrides,
+) -> RunResult:
+    """Simulate ``pipeline`` on ``machine`` and measure it.
+
+    Any :class:`RunConfig` field can be passed as a keyword override,
+    e.g. ``run_pipeline(pipe, machine, duration=3.0, trace=False)``.
+    """
+    if config is None:
+        config = RunConfig(**config_overrides)
+    elif config_overrides:
+        raise TypeError("pass either a RunConfig or keyword overrides, not both")
+    validate_pipeline(pipeline)
+
+    sim = Simulation()
+    threads = _total_threads(pipeline)
+    sim.cores = CoreScheduler(
+        sim,
+        capacity=machine.cores,
+        oversubscription_penalty=machine.oversubscription_penalty,
+        total_threads=threads,
+    )
+    sim.disk = FairShareDisk(sim, machine.disk)
+
+    overhead = machine.iterator_overhead + (
+        machine.tracer_overhead if config.trace else 0.0
+    )
+    ctx = ExecContext(
+        sim=sim,
+        machine=machine,
+        penalty=sim.cores.penalty,
+        overhead_per_element=overhead,
+        memory_limit_bytes=machine.memory_bytes * 0.9,
+    )
+
+    granularity = config.granularity or _auto_granularity(pipeline)
+    epochs = config.epochs if config.epochs is not None else _pipeline_epochs(pipeline)
+
+    order = pipeline.topological_order()
+    has_cache = any(isinstance(n, CacheNode) for n in order)
+    source_epochs = 1.0 if has_cache else epochs
+    cache_serve_epochs = (epochs - 1.0) if has_cache else 0.0
+
+    board = StatsBoard()
+    queues: Dict[str, SimQueue] = {}
+    for node in order:
+        stats = board.register(
+            NodeStats(
+                name=node.name,
+                kind=node.kind,
+                parallelism=node.effective_parallelism,
+                sequential=node.sequential,
+                udf_internal_parallelism=(
+                    node.udf.cost.internal_parallelism if node.udf else 1.0
+                ),
+            )
+        )
+        if isinstance(node, PrefetchNode):
+            per_chunk = expected_elements_per_chunk(pipeline, node.name, granularity)
+            capacity = max(1, int(math.ceil(node.buffer_size / per_chunk)))
+        else:
+            capacity = max(2, node.effective_parallelism)
+        out_q = SimQueue(sim, capacity, name=node.name)
+        queues[node.name] = out_q
+
+        if isinstance(node, InterleaveSourceNode):
+            cursor = FileCursor(node.catalog.files, epochs=source_epochs)
+            workers = build_stage(
+                node, None, out_q, ctx, stats,
+                cursor=cursor, granularity=granularity,
+            )
+        else:
+            in_q = queues[node.inputs[0].name]
+            workers = build_stage(
+                node, in_q, out_q, ctx, stats,
+                serve_epochs=cache_serve_epochs,
+            )
+        for i, gen in enumerate(workers):
+            sim.spawn(gen, name=f"{node.name}[{i}]")
+
+    consumer_spec = config.consumer
+    consumer = _Consumer(
+        sim, queues[pipeline.root.name], consumer_spec.step_seconds_per_element
+    )
+    sim.spawn(consumer.run(), name="consumer")
+
+    # Warmup snapshot taken mid-run.
+    warm: dict = {}
+
+    def take_warm_snapshot() -> None:
+        warm["stats"] = board.snapshot()
+        warm["consumer"] = consumer.snapshot()
+        warm["disk_bytes"] = sim.disk.total_bytes
+
+    if config.warmup > 0:
+        sim.schedule(config.warmup, take_warm_snapshot)
+    else:
+        take_warm_snapshot()
+
+    end_time = sim.run(config.duration)
+    completed = consumer.done
+
+    if "stats" not in warm:
+        # Drained before warmup ended: measure the whole run instead.
+        warm["stats"] = {
+            name: NodeStats(name=name, kind=board[name].kind)
+            for name in board.names()
+        }
+        warm["consumer"] = (0.0, 0.0)
+        warm["disk_bytes"] = 0.0
+        measured = max(end_time, 1e-12)
+    else:
+        measured = max(end_time - config.warmup, 1e-12)
+
+    deltas = {
+        name: board[name].delta(warm["stats"][name]) for name in board.names()
+    }
+    elements = consumer.elements - warm["consumer"][0]
+    wait = consumer.wait_seconds - warm["consumer"][1]
+
+    return RunResult(
+        pipeline=pipeline,
+        machine=machine,
+        config=config,
+        stats=deltas,
+        cumulative_stats=board.snapshot(),
+        minibatches=elements,
+        measured_seconds=measured,
+        throughput=elements / measured,
+        next_latency=(wait / elements) if elements > 0 else float("inf"),
+        cpu_utilization=sim.cores.utilization(end_time),
+        disk_bytes=sim.disk.total_bytes - warm["disk_bytes"],
+        cache_bytes=dict(ctx.cache_bytes),
+        completed=completed,
+    )

@@ -1,0 +1,502 @@
+"""Worker generators implementing each dataset operator.
+
+Elements flow between stages as :class:`Item` chunks carrying a float
+``count`` (elements, in the producing node's own units — minibatches
+after a batch node) and total ``nbytes``. Chunking (the ``granularity``
+knob) trades simulation event count for timing resolution without
+changing any rate: all costs, overheads, and counters scale with
+``count``.
+
+Every worker follows the same shape per chunk:
+
+1. ``Get`` from the input queue (blocked time = upstream starvation),
+2. pay framework overhead (``Timeout`` — occupies the worker thread but
+   no core, and is invisible to CPU-time tracing; see Fig. 9 / §C.3),
+3. pay CPU cost (``Compute`` — occupies cores, visible to tracing),
+4. ``Put`` downstream (blocked time = downstream backpressure).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.graph.datasets import (
+    BatchNode,
+    CacheNode,
+    DatasetNode,
+    FilterNode,
+    InterleaveSourceNode,
+    MapNode,
+    PrefetchNode,
+    RepeatNode,
+    ShuffleNode,
+    TakeNode,
+)
+from repro.runtime.engine import (
+    EOS,
+    Compute,
+    Get,
+    Put,
+    Read,
+    SimQueue,
+    SimulationError,
+    Timeout,
+)
+from repro.runtime.stats import NodeStats
+
+
+@dataclass(frozen=True)
+class Item:
+    """A chunk of ``count`` elements totalling ``nbytes`` bytes."""
+
+    count: float
+    nbytes: float
+
+    @property
+    def bytes_per_element(self) -> float:
+        """Mean element size within the chunk."""
+        return self.nbytes / self.count if self.count > 0 else 0.0
+
+
+class ExecContext:
+    """Per-run constants shared by all workers."""
+
+    def __init__(
+        self,
+        sim,
+        machine,
+        penalty: float,
+        overhead_per_element: float,
+        memory_limit_bytes: float,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.penalty = penalty
+        self.overhead_per_element = overhead_per_element
+        self.memory_limit_bytes = memory_limit_bytes
+        self.cache_bytes: dict = {}
+
+    def cpu_cost(self, reference_seconds: float) -> float:
+        """Reference-core seconds scaled to this machine's core speed."""
+        return reference_seconds / self.machine.core_speed
+
+
+class StageState:
+    """Shared bookkeeping for one stage's worker pool: closes the output
+    queue when the last worker finishes."""
+
+    def __init__(self, out_q: SimQueue, workers: int) -> None:
+        self.out_q = out_q
+        self.live = workers
+
+    def worker_done(self) -> None:
+        self.live -= 1
+        if self.live == 0:
+            self.out_q.close()
+
+
+class FileCursor:
+    """Shared file iterator for interleave source workers.
+
+    Hands out files round-robin across ``epochs`` passes (``inf`` for an
+    unbounded repeat).
+    """
+
+    def __init__(self, files, epochs: float) -> None:
+        self.files = list(files)
+        self.epochs = epochs
+        self._index = 0
+        self._epoch = 0
+
+    def next_file(self):
+        """The next file to read, or ``None`` when all epochs are done."""
+        if not self.files:
+            return None
+        if self._index >= len(self.files):
+            self._index = 0
+            self._epoch += 1
+        if self._epoch >= self.epochs:
+            return None
+        f = self.files[self._index]
+        self._index += 1
+        return f
+
+
+# ----------------------------------------------------------------------
+# Worker generators.
+# ----------------------------------------------------------------------
+def _overhead(ctx: ExecContext, stats: NodeStats, count: float):
+    """Yield the framework-overhead timeout for ``count`` elements."""
+    o = ctx.overhead_per_element * count
+    if o > 0:
+        stats.on_overhead(o)
+        return Timeout(o)
+    return None
+
+
+#: buffered readers fetch at least this much per storage request, so
+#: per-request latency is amortized for tiny-record (text) datasets
+READ_BLOCK_BYTES = 1e6
+
+
+def source_worker(
+    node: InterleaveSourceNode,
+    cursor: FileCursor,
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+    granularity: int,
+) -> Generator:
+    """One interleave stream: block-buffered reads, chunked record emit."""
+    try:
+        while True:
+            f = cursor.next_file()
+            if f is None:
+                return
+            # File size is known at open (a filesystem stat), which is
+            # how Plumber's tracer sees "bytes read until end of file".
+            stats.on_file_done(f.size_bytes)
+            remaining = f.num_records
+            per_record = f.bytes_per_record
+            unread = f.size_bytes
+            buffered = 0.0
+            while remaining > 0:
+                n = min(granularity, remaining)
+                remaining -= n
+                nbytes = n * per_record
+                if buffered < nbytes and unread > 0:
+                    block = min(max(nbytes, READ_BLOCK_BYTES), unread)
+                    t_read = ctx.sim.now
+                    yield Read(block)
+                    stats.on_io(ctx.sim.now - t_read)
+                    stats.on_read(block)
+                    unread -= block
+                    buffered += block
+                buffered -= nbytes
+                req = _overhead(ctx, stats, n)
+                if req is not None:
+                    yield req
+                if node.read_cpu_seconds_per_record > 0:
+                    svc = ctx.cpu_cost(node.read_cpu_seconds_per_record * n)
+                    yield Compute(svc)
+                    stats.on_cpu(svc * ctx.penalty)
+                stats.on_consume(n)
+                item = Item(count=float(n), nbytes=nbytes)
+                yield Put(out_q, item)
+                stats.on_produce(item.count, item.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
+def map_worker(
+    node: MapNode,
+    in_q: SimQueue,
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+) -> Generator:
+    """Apply a UDF chunk-wise: cost, size, and count transforms."""
+    udf = node.udf
+    width = udf.cost.internal_parallelism
+    try:
+        while True:
+            item = yield Get(in_q)
+            if item is EOS:
+                return
+            stats.on_consume(item.count)
+            req = _overhead(ctx, stats, item.count)
+            if req is not None:
+                yield req
+            if udf.cost.cpu_seconds > 0:
+                svc = ctx.cpu_cost(udf.cost.cpu_seconds * item.count)
+                yield Compute(svc, width=width)
+                stats.on_cpu(svc * width * ctx.penalty)
+            out_count = item.count * udf.examples_ratio
+            out_bytes = udf.output_size(item.bytes_per_element) * out_count
+            if out_count > 0:
+                out = Item(count=out_count, nbytes=out_bytes)
+                yield Put(out_q, out)
+                stats.on_produce(out.count, out.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
+def filter_worker(
+    node: FilterNode,
+    in_q: SimQueue,
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+) -> Generator:
+    """Sequential predicate: pays CPU on every input, keeps a fraction."""
+    udf = node.udf
+    try:
+        while True:
+            item = yield Get(in_q)
+            if item is EOS:
+                return
+            stats.on_consume(item.count)
+            req = _overhead(ctx, stats, item.count)
+            if req is not None:
+                yield req
+            if udf.cost.cpu_seconds > 0:
+                svc = ctx.cpu_cost(udf.cost.cpu_seconds * item.count)
+                yield Compute(svc)
+                stats.on_cpu(svc * ctx.penalty)
+            out_count = item.count * node.keep_fraction
+            out_bytes = item.nbytes * node.keep_fraction
+            if out_count > 0:
+                out = Item(count=out_count, nbytes=out_bytes)
+                yield Put(out_q, out)
+                stats.on_produce(out.count, out.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
+def batch_worker(
+    node: BatchNode,
+    in_q: SimQueue,
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+) -> Generator:
+    """Grouping: converts counts into minibatch units (count / B)."""
+    batch = node.batch_size
+    try:
+        while True:
+            item = yield Get(in_q)
+            if item is EOS:
+                return
+            stats.on_consume(item.count)
+            # Overhead is paid per *output* element (one Next per batch).
+            out_count = item.count / batch
+            req = _overhead(ctx, stats, out_count)
+            if req is not None:
+                yield req
+            if node.cpu_seconds_per_example > 0:
+                svc = ctx.cpu_cost(node.cpu_seconds_per_example * item.count)
+                yield Compute(svc)
+                stats.on_cpu(svc * ctx.penalty)
+            out = Item(count=out_count, nbytes=item.nbytes)
+            yield Put(out_q, out)
+            stats.on_produce(out.count, out.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
+def shuffle_worker(
+    node: ShuffleNode,
+    in_q: SimQueue,
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+) -> Generator:
+    """Buffered shuffle: throughput-wise a sequential pass-through with a
+    per-element CPU cost (order is irrelevant to the simulation)."""
+    try:
+        while True:
+            item = yield Get(in_q)
+            if item is EOS:
+                return
+            stats.on_consume(item.count)
+            req = _overhead(ctx, stats, item.count)
+            if req is not None:
+                yield req
+            if node.cpu_seconds_per_element > 0:
+                svc = ctx.cpu_cost(node.cpu_seconds_per_element * item.count)
+                yield Compute(svc)
+                stats.on_cpu(svc * ctx.penalty)
+            yield Put(out_q, item)
+            stats.on_produce(item.count, item.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
+def passthrough_worker(
+    node: DatasetNode,
+    in_q: SimQueue,
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+) -> Generator:
+    """Repeat / prefetch: forwards chunks, paying only overhead."""
+    try:
+        while True:
+            item = yield Get(in_q)
+            if item is EOS:
+                return
+            stats.on_consume(item.count)
+            req = _overhead(ctx, stats, item.count)
+            if req is not None:
+                yield req
+            yield Put(out_q, item)
+            stats.on_produce(item.count, item.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
+def take_worker(
+    node: TakeNode,
+    in_q: SimQueue,
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+) -> Generator:
+    """Forward until ``count`` elements have been emitted, then end the
+    stream early (splitting the final chunk if needed)."""
+    remaining = float(node.count)
+    try:
+        while remaining > 0:
+            item = yield Get(in_q)
+            if item is EOS:
+                return
+            stats.on_consume(item.count)
+            emit = min(item.count, remaining)
+            remaining -= emit
+            req = _overhead(ctx, stats, emit)
+            if req is not None:
+                yield req
+            frac = emit / item.count if item.count > 0 else 0.0
+            out = Item(count=emit, nbytes=item.nbytes * frac)
+            yield Put(out_q, out)
+            stats.on_produce(out.count, out.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
+def cache_worker(
+    node: CacheNode,
+    in_q: SimQueue,
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+    serve_epochs: float,
+) -> Generator:
+    """Materialize the first pass, then serve ``serve_epochs`` more passes
+    from memory (``inf`` under an unbounded repeat).
+
+    Raises :class:`SimulationError` if materialization exceeds the host
+    memory limit — the failure Plumber's planner exists to avoid.
+    """
+    stored: List[Item] = []
+    stored_bytes = 0.0
+    try:
+        # Populate pass: forward while recording.
+        while True:
+            item = yield Get(in_q)
+            if item is EOS:
+                break
+            stats.on_consume(item.count)
+            stored.append(item)
+            stored_bytes += item.nbytes
+            ctx.cache_bytes[node.name] = stored_bytes
+            if stored_bytes > ctx.memory_limit_bytes:
+                raise SimulationError(
+                    f"cache {node.name!r} exceeded memory limit: "
+                    f"{stored_bytes / 1e9:.1f} GB > "
+                    f"{ctx.memory_limit_bytes / 1e9:.1f} GB"
+                )
+            req = _overhead(ctx, stats, item.count)
+            if req is not None:
+                yield req
+            yield Put(out_q, item)
+            stats.on_produce(item.count, item.nbytes, ctx.sim.now)
+        # Serve passes: replay from memory at memory-copy cost.
+        epoch = 0.0
+        while epoch < serve_epochs and stored:
+            epoch += 1.0
+            for item in stored:
+                req = _overhead(ctx, stats, item.count)
+                if req is not None:
+                    yield req
+                if node.read_cpu_seconds_per_element > 0:
+                    svc = ctx.cpu_cost(
+                        node.read_cpu_seconds_per_element * item.count
+                    )
+                    yield Compute(svc)
+                    stats.on_cpu(svc * ctx.penalty)
+                yield Put(out_q, item)
+                stats.on_produce(item.count, item.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
+def build_stage(
+    node: DatasetNode,
+    in_q: Optional[SimQueue],
+    out_q: SimQueue,
+    ctx: ExecContext,
+    stats: NodeStats,
+    *,
+    cursor: Optional[FileCursor] = None,
+    granularity: int = 1,
+    serve_epochs: float = 0.0,
+) -> List[Generator]:
+    """Instantiate the worker generators for ``node``."""
+    if isinstance(node, InterleaveSourceNode):
+        workers = node.effective_parallelism
+        state = StageState(out_q, workers)
+        assert cursor is not None
+        return [
+            source_worker(node, cursor, out_q, state, ctx, stats, granularity)
+            for _ in range(workers)
+        ]
+    assert in_q is not None
+    if isinstance(node, MapNode):
+        workers = node.effective_parallelism
+        state = StageState(out_q, workers)
+        return [
+            map_worker(node, in_q, out_q, state, ctx, stats)
+            for _ in range(workers)
+        ]
+    if isinstance(node, BatchNode):
+        workers = node.effective_parallelism
+        state = StageState(out_q, workers)
+        return [
+            batch_worker(node, in_q, out_q, state, ctx, stats)
+            for _ in range(workers)
+        ]
+    if isinstance(node, FilterNode):
+        state = StageState(out_q, 1)
+        return [filter_worker(node, in_q, out_q, state, ctx, stats)]
+    if isinstance(node, ShuffleNode):  # includes ShuffleAndRepeatNode
+        state = StageState(out_q, 1)
+        return [shuffle_worker(node, in_q, out_q, state, ctx, stats)]
+    if isinstance(node, TakeNode):
+        state = StageState(out_q, 1)
+        return [take_worker(node, in_q, out_q, state, ctx, stats)]
+    if isinstance(node, CacheNode):
+        state = StageState(out_q, 1)
+        return [
+            cache_worker(node, in_q, out_q, state, ctx, stats, serve_epochs)
+        ]
+    if isinstance(node, (RepeatNode, PrefetchNode)):
+        state = StageState(out_q, 1)
+        return [passthrough_worker(node, in_q, out_q, state, ctx, stats)]
+    raise TypeError(f"no runtime implementation for node kind {node.kind!r}")
+
+
+def expected_elements_per_chunk(pipeline, node_name: str, granularity: int) -> float:
+    """Expected chunk ``count`` at a node's output, from structural
+    ratios — used to size prefetch buffers given in elements."""
+    order = pipeline.topological_order()
+    ratios = {}
+    for node in order:
+        if isinstance(node, InterleaveSourceNode):
+            ratios[node.name] = float(granularity)
+        else:
+            child = ratios[node.inputs[0].name]
+            ratios[node.name] = child * node.elements_ratio()
+        if node.name == node_name:
+            return max(ratios[node.name], 1e-12)
+    raise KeyError(f"node {node_name!r} not in pipeline")

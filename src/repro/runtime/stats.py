@@ -1,0 +1,210 @@
+"""Per-iterator statistics — the paper's ≤144-byte AUTOTUNE-style struct.
+
+For every dataset node the runtime maintains counters for elements
+consumed/produced, active CPU core-seconds, bytes produced, bytes read
+from storage, and wallclock busy time. Plumber's offline analysis
+(:mod:`repro.core.rates`) is computed purely from a snapshot of these
+counters plus the serialized program, exactly as in §4.1.
+
+Source nodes additionally record the sizes of files they finished
+reading — the input to the subsampled dataset-size estimator (§A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class NodeStats:
+    """Counters for one dataset node."""
+
+    name: str
+    kind: str
+    parallelism: int = 1
+    sequential: bool = False
+    udf_internal_parallelism: float = 1.0
+
+    elements_produced: float = 0.0
+    elements_consumed: float = 0.0
+    cpu_core_seconds: float = 0.0
+    io_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+    bytes_produced: float = 0.0
+    bytes_read: float = 0.0
+    first_output_time: Optional[float] = None
+    last_output_time: Optional[float] = None
+
+    # Source-only: observed finished files (name excluded to stay small).
+    files_seen_sizes: List[float] = field(default_factory=list)
+    files_seen_count: int = 0
+    files_seen_bytes: float = 0.0
+    #: cap on the per-file size list (reservoir prefix); counters above
+    #: keep exact totals beyond the cap.
+    files_seen_cap: int = 65536
+
+    # ------------------------------------------------------------------
+    def on_produce(self, count: float, nbytes: float, now: float) -> None:
+        """Record ``count`` elements (``nbytes`` total) leaving the node."""
+        self.elements_produced += count
+        self.bytes_produced += nbytes
+        if self.first_output_time is None:
+            self.first_output_time = now
+        self.last_output_time = now
+
+    def on_consume(self, count: float) -> None:
+        """Record ``count`` elements entering the node."""
+        self.elements_consumed += count
+
+    def on_cpu(self, core_seconds: float) -> None:
+        """Record active CPU core-seconds."""
+        self.cpu_core_seconds += core_seconds
+
+    def on_overhead(self, seconds: float) -> None:
+        """Record framework overhead (not CPU-accounted)."""
+        self.overhead_seconds += seconds
+
+    def on_io(self, seconds: float) -> None:
+        """Record wallclock spent waiting on storage reads."""
+        self.io_seconds += seconds
+
+    def on_read(self, nbytes: float) -> None:
+        """Record bytes read from storage."""
+        self.bytes_read += nbytes
+
+    def on_file_done(self, size_bytes: float) -> None:
+        """Record one observed file's size (a filesystem stat at open —
+        the "bytes read until end of file" of §A)."""
+        if self.files_seen_count < self.files_seen_cap:
+            self.files_seen_sizes.append(size_bytes)
+        self.files_seen_count += 1
+        self.files_seen_bytes += size_bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_element(self) -> float:
+        """Mean output element size (b_i in §A)."""
+        if self.elements_produced <= 0:
+            return 0.0
+        return self.bytes_produced / self.elements_produced
+
+    @property
+    def elements_per_cpu_second(self) -> float:
+        """Local per-core completion rate (r_i in §4.4)."""
+        if self.cpu_core_seconds <= 0:
+            return float("inf") if self.elements_produced > 0 else 0.0
+        return self.elements_produced / self.cpu_core_seconds
+
+    def snapshot(self) -> "NodeStats":
+        """A frozen copy of the current counters."""
+        clone = NodeStats(
+            name=self.name,
+            kind=self.kind,
+            parallelism=self.parallelism,
+            sequential=self.sequential,
+            udf_internal_parallelism=self.udf_internal_parallelism,
+            elements_produced=self.elements_produced,
+            elements_consumed=self.elements_consumed,
+            cpu_core_seconds=self.cpu_core_seconds,
+            io_seconds=self.io_seconds,
+            overhead_seconds=self.overhead_seconds,
+            bytes_produced=self.bytes_produced,
+            bytes_read=self.bytes_read,
+            first_output_time=self.first_output_time,
+            last_output_time=self.last_output_time,
+            files_seen_count=self.files_seen_count,
+            files_seen_bytes=self.files_seen_bytes,
+        )
+        clone.files_seen_sizes = list(self.files_seen_sizes)
+        return clone
+
+    def delta(self, earlier: "NodeStats") -> "NodeStats":
+        """Counters accumulated since ``earlier`` (for warmup trimming).
+
+        File observations are kept cumulative: size estimation wants all
+        files seen, not just post-warmup ones.
+        """
+        out = self.snapshot()
+        out.elements_produced -= earlier.elements_produced
+        out.elements_consumed -= earlier.elements_consumed
+        out.cpu_core_seconds -= earlier.cpu_core_seconds
+        out.io_seconds -= earlier.io_seconds
+        out.overhead_seconds -= earlier.overhead_seconds
+        out.bytes_produced -= earlier.bytes_produced
+        out.bytes_read -= earlier.bytes_read
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (trace file format)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "parallelism": self.parallelism,
+            "sequential": self.sequential,
+            "udf_internal_parallelism": self.udf_internal_parallelism,
+            "elements_produced": self.elements_produced,
+            "elements_consumed": self.elements_consumed,
+            "cpu_core_seconds": self.cpu_core_seconds,
+            "io_seconds": self.io_seconds,
+            "overhead_seconds": self.overhead_seconds,
+            "bytes_produced": self.bytes_produced,
+            "bytes_read": self.bytes_read,
+            "files_seen_sizes": list(self.files_seen_sizes),
+            "files_seen_count": self.files_seen_count,
+            "files_seen_bytes": self.files_seen_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NodeStats":
+        """Inverse of :meth:`to_dict`."""
+        stats = cls(
+            name=data["name"],
+            kind=data["kind"],
+            parallelism=data.get("parallelism", 1),
+            sequential=data.get("sequential", False),
+            udf_internal_parallelism=data.get("udf_internal_parallelism", 1.0),
+            elements_produced=data.get("elements_produced", 0.0),
+            elements_consumed=data.get("elements_consumed", 0.0),
+            cpu_core_seconds=data.get("cpu_core_seconds", 0.0),
+            io_seconds=data.get("io_seconds", 0.0),
+            overhead_seconds=data.get("overhead_seconds", 0.0),
+            bytes_produced=data.get("bytes_produced", 0.0),
+            bytes_read=data.get("bytes_read", 0.0),
+            files_seen_count=data.get("files_seen_count", 0),
+            files_seen_bytes=data.get("files_seen_bytes", 0.0),
+        )
+        stats.files_seen_sizes = list(data.get("files_seen_sizes", ()))
+        return stats
+
+
+class StatsBoard:
+    """All node stats for one run, keyed by node name."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, NodeStats] = {}
+
+    def register(self, stats: NodeStats) -> NodeStats:
+        """Add a node's stats object, enforcing unique names."""
+        if stats.name in self._stats:
+            raise ValueError(f"stats already registered for {stats.name!r}")
+        self._stats[stats.name] = stats
+        return stats
+
+    def __getitem__(self, name: str) -> NodeStats:
+        return self._stats[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def names(self) -> List[str]:
+        """Registered node names."""
+        return list(self._stats)
+
+    def snapshot(self) -> Dict[str, NodeStats]:
+        """Frozen copies of all stats."""
+        return {name: s.snapshot() for name, s in self._stats.items()}
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {name: s.to_dict() for name, s in self._stats.items()}

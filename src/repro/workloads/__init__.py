@@ -1,0 +1,34 @@
+"""The paper's evaluation workloads (§5, §D): MLPerf v0.6 input pipelines.
+
+Each module builds the pipeline with per-op cost constants calibrated to
+the measurements the paper itself reports (decode rates, dataset sizes,
+UDF parallelism). :mod:`repro.workloads.registry` maps names to
+:class:`~repro.workloads.registry.Workload` descriptors used by the
+benchmark harnesses.
+"""
+
+from repro.workloads.gnmt import build_gnmt
+from repro.workloads.rcnn import build_rcnn
+from repro.workloads.registry import (
+    END_TO_END_WORKLOADS,
+    MICROBENCH_WORKLOADS,
+    Workload,
+    get_workload,
+)
+from repro.workloads.resnet import build_resnet, build_resnet_fused
+from repro.workloads.ssd import build_ssd
+from repro.workloads.transformer import build_transformer, build_transformer_small
+
+__all__ = [
+    "END_TO_END_WORKLOADS",
+    "MICROBENCH_WORKLOADS",
+    "Workload",
+    "build_gnmt",
+    "build_rcnn",
+    "build_resnet",
+    "build_resnet_fused",
+    "build_ssd",
+    "build_transformer",
+    "build_transformer_small",
+    "get_workload",
+]

@@ -1,0 +1,67 @@
+"""GNMT/WMT16 input pipeline (Wu et al. 2016).
+
+"According to Plumber, GNMT is bottlenecked by
+ShuffleAndRepeatDataset; this Dataset is performing minimal work and
+thus the result is unexpected" (§5.1) — the fused sequential
+shuffle+repeat caps throughput no matter how much map parallelism is
+added, and because it repeats unboundedly, nothing above it can be
+cached. "Introducing inner-parallelism for Batching" is the paper's
+partial fix, which is why the batch node here is tunable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph.builder import from_tfrecords
+from repro.graph.datasets import Pipeline
+from repro.graph.udf import CostModel, UserFunction
+from repro.io.catalogs import wmt16_catalog
+from repro.io.filesystem import FileCatalog
+
+BATCH_SIZE = 64
+PARSE_CPU_SECONDS = 8.0e-6
+TOKENIZE_CPU_SECONDS = 20.0e-6
+PAD_CPU_SECONDS = 12.0e-6
+SHUFFLE_REPEAT_CPU_SECONDS = 10.0e-6
+READ_CPU_SECONDS_PER_RECORD = 1.0e-6
+BATCH_CPU_SECONDS_PER_EXAMPLE = 1.0e-7
+
+
+def build_gnmt(
+    catalog: Optional[FileCatalog] = None,
+    parallelism: int = 1,
+    prefetch: int = 10,
+    batch_size: int = BATCH_SIZE,
+    name: Optional[str] = None,
+) -> Pipeline:
+    """The GNMT pipeline with its fused ShuffleAndRepeat."""
+    catalog = catalog or wmt16_catalog()
+    parse = UserFunction("parse_text", cost=CostModel(cpu_seconds=PARSE_CPU_SECONDS))
+    tokenize = UserFunction(
+        "tokenize", cost=CostModel(cpu_seconds=TOKENIZE_CPU_SECONDS)
+    )
+    pad = UserFunction("pad_to_bucket", cost=CostModel(cpu_seconds=PAD_CPU_SECONDS))
+    ds = from_tfrecords(
+        catalog,
+        parallelism=parallelism,
+        read_cpu_seconds_per_record=READ_CPU_SECONDS_PER_RECORD,
+        name="interleave_tfrecord",
+    )
+    ds = ds.map(parse, parallelism=parallelism, name="map_parse")
+    ds = ds.map(tokenize, parallelism=parallelism, name="map_tokenize")
+    ds = ds.shuffle_and_repeat(
+        1024,
+        cpu_seconds_per_element=SHUFFLE_REPEAT_CPU_SECONDS,
+        name="shuffle_and_repeat",
+    )
+    ds = ds.map(pad, parallelism=parallelism, name="map_pad")
+    ds = ds.batch(
+        batch_size,
+        parallelism=parallelism,
+        cpu_seconds_per_example=BATCH_CPU_SECONDS_PER_EXAMPLE,
+        name="batch",
+    )
+    if prefetch > 0:
+        ds = ds.prefetch(prefetch, name="prefetch_root")
+    return ds.build(name or "gnmt")

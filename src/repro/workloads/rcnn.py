@@ -1,0 +1,80 @@
+"""Mask-RCNN/COCO input pipeline (Ren et al. 2016; Lin et al. 2014).
+
+The UDF-parallelism stress case (Figure 8, Obs. 5): the heavy
+augmentation UDF is transparently parallelized by the runtime, so "1
+parallelism uses nearly 3 cores" and over-allocation compounds into
+thread oversubscription. Calibration from §5:
+
+* heavy map ≈ 0.5 minibatches/s/core, cheap map ≈ two orders of
+  magnitude cheaper (§5.4);
+* the UDF following the source is randomized, so RCNN "can only be
+  cached at the disk-level" (§5.3);
+* COCO is 20 GB; RCNN and MultiBoxSSD share dataset and batch size
+  (§5.2 infers ~145 minibatches/s per 100 MB/s → batch 4 x ~170 KB).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph.builder import from_tfrecords
+from repro.graph.datasets import Pipeline
+from repro.graph.udf import CostModel, UserFunction
+from repro.io.catalogs import coco_catalog
+from repro.io.filesystem import FileCatalog
+
+BATCH_SIZE = 4
+PARSE_CPU_SECONDS = 2.0e-4
+#: heavy augmentation: 0.125 s/image at width 3 → 0.5 core-s/image
+#: → 2 core-s per minibatch → R = 0.5 minibatch/s/core (§5.4).
+HEAVY_CPU_SECONDS = 0.125
+HEAVY_INTERNAL_PARALLELISM = 3.0
+#: cheap map: ~100x cheaper than the heavy one (§5.4).
+CHEAP_CPU_SECONDS = 5.0e-3
+READ_CPU_SECONDS_PER_RECORD = 5.0e-5
+BATCH_CPU_SECONDS_PER_EXAMPLE = 4.0e-6
+
+
+def build_rcnn(
+    catalog: Optional[FileCatalog] = None,
+    parallelism: int = 1,
+    prefetch: int = 8,
+    batch_size: int = BATCH_SIZE,
+    name: Optional[str] = None,
+) -> Pipeline:
+    """The Mask-RCNN pipeline with its transparently-parallel heavy UDF."""
+    catalog = catalog or coco_catalog()
+    parse = UserFunction(
+        "parse_coco", cost=CostModel(cpu_seconds=PARSE_CPU_SECONDS)
+    )
+    heavy = UserFunction(
+        "decode_and_augment",
+        cost=CostModel(
+            cpu_seconds=HEAVY_CPU_SECONDS,
+            internal_parallelism=HEAVY_INTERNAL_PARALLELISM,
+        ),
+        size_ratio=6.0,
+        accesses_seed=True,  # randomized: uncacheable past the source
+    )
+    cheap = UserFunction(
+        "normalize_and_pad", cost=CostModel(cpu_seconds=CHEAP_CPU_SECONDS)
+    )
+    ds = from_tfrecords(
+        catalog,
+        parallelism=parallelism,
+        read_cpu_seconds_per_record=READ_CPU_SECONDS_PER_RECORD,
+        name="interleave_tfrecord",
+    )
+    ds = ds.map(parse, parallelism=parallelism, name="map_parse")
+    ds = ds.map(heavy, parallelism=parallelism, name="map_heavy")
+    ds = ds.map(cheap, parallelism=parallelism, name="map_cheap")
+    ds = ds.batch(
+        batch_size,
+        parallelism=parallelism,
+        cpu_seconds_per_example=BATCH_CPU_SECONDS_PER_EXAMPLE,
+        name="batch",
+    )
+    if prefetch > 0:
+        ds = ds.prefetch(prefetch, name="prefetch_root")
+    ds = ds.repeat(None, name="repeat")
+    return ds.build(name or "rcnn")

@@ -1,0 +1,183 @@
+"""Workload registry: descriptors binding a pipeline builder to the
+dataset, batch size, and the Setup-C model-consumer rate used in the
+end-to-end experiments (Figures 10/12).
+
+Model-rate caps (samples/second the accelerator can absorb) come from
+the paper's absolute throughputs in Figure 12 — Plumber's or the
+fastest configuration saturates them:
+
+* ResNet18 ≈ 12.7k img/s, ResNetLinear ≈ 14.7k img/s, ResNet-50 8k;
+* Transformer ≈ 860 and GNMT ≈ 5.6k samples/s (model-bound for every
+  tuner); TransformerSmall ≈ 2.7k;
+* MultiBoxSSD ≈ 3.3k, RCNN ≈ 82 samples/s equivalents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.graph.datasets import Pipeline
+from repro.io.catalogs import (
+    coco_catalog,
+    imagenet_catalog,
+    imagenet_validation_catalog,
+    wmt16_catalog,
+    wmt17_catalog,
+)
+from repro.io.filesystem import FileCatalog
+from repro.workloads.gnmt import build_gnmt
+from repro.workloads.rcnn import build_rcnn
+from repro.workloads.resnet import build_resnet
+from repro.workloads.ssd import build_ssd
+from repro.workloads.transformer import build_transformer, build_transformer_small
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One evaluation workload."""
+
+    name: str
+    description: str
+    builder: Callable[..., Pipeline]
+    catalog_factory: Callable[[], FileCatalog]
+    batch_size: int
+    #: accelerator samples/second cap for end-to-end runs (None = no model)
+    model_samples_per_second: Optional[float] = None
+
+    def build(self, scale: float = 1.0, **kwargs) -> Pipeline:
+        """Build the pipeline, optionally scaling the dataset."""
+        catalog = self.catalog_factory()
+        if scale != 1.0:
+            catalog = catalog.scaled(scale)
+        kwargs.setdefault("catalog", catalog)
+        return self.builder(**kwargs)
+
+    @property
+    def model_step_seconds(self) -> float:
+        """Seconds of accelerator time per minibatch (0 = benchmark)."""
+        if not self.model_samples_per_second:
+            return 0.0
+        return self.batch_size / self.model_samples_per_second
+
+
+#: Workloads used in the §5.1–§5.3 microbenchmarks (no model attached).
+MICROBENCH_WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload(
+            "resnet",
+            "ResNet-50/ImageNet image classification",
+            build_resnet,
+            imagenet_catalog,
+            batch_size=128,
+        ),
+        Workload(
+            "rcnn",
+            "Mask-RCNN/COCO detection (heavy UDF parallelism)",
+            build_rcnn,
+            coco_catalog,
+            batch_size=4,
+        ),
+        Workload(
+            "ssd",
+            "MultiBoxSSD/COCO real-time detection",
+            build_ssd,
+            coco_catalog,
+            batch_size=4,
+        ),
+        Workload(
+            "transformer",
+            "Transformer/WMT17 translation (tiny ops)",
+            build_transformer,
+            wmt17_catalog,
+            batch_size=64,
+        ),
+        Workload(
+            "gnmt",
+            "GNMT/WMT16 translation (ShuffleAndRepeat bottleneck)",
+            build_gnmt,
+            wmt16_catalog,
+            batch_size=64,
+        ),
+    )
+}
+
+#: Workloads + model rates for the §5.4 end-to-end experiments.
+END_TO_END_WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload(
+            "resnet18",
+            "ResNet-18/ImageNet on TPUv3-8",
+            build_resnet,
+            imagenet_catalog,
+            batch_size=128,
+            model_samples_per_second=12_740.0,
+        ),
+        Workload(
+            "resnet_linear",
+            "Linear model over ImageNet validation (cacheable decode)",
+            build_resnet,
+            imagenet_validation_catalog,
+            batch_size=128,
+            model_samples_per_second=14_730.0,
+        ),
+        Workload(
+            "resnet50",
+            "ResNet-50/ImageNet on TPUv3-8 (model-bound at ~8k img/s)",
+            build_resnet,
+            imagenet_catalog,
+            batch_size=128,
+            model_samples_per_second=8_000.0,
+        ),
+        Workload(
+            "ssd",
+            "MultiBoxSSD/COCO on TPUv3-8",
+            build_ssd,
+            coco_catalog,
+            batch_size=4,
+            model_samples_per_second=3_300.0,
+        ),
+        Workload(
+            "rcnn",
+            "Mask-RCNN/COCO on TPUv3-8",
+            build_rcnn,
+            coco_catalog,
+            batch_size=4,
+            model_samples_per_second=82.0,
+        ),
+        Workload(
+            "transformer",
+            "Transformer/WMT17 on TPUv3-8 (model-bound)",
+            build_transformer,
+            wmt17_catalog,
+            batch_size=64,
+            model_samples_per_second=860.0,
+        ),
+        Workload(
+            "transformer_small",
+            "Single-layer Flax Transformer (pipeline-bound)",
+            build_transformer_small,
+            wmt17_catalog,
+            batch_size=32,
+            model_samples_per_second=2_700.0,
+        ),
+        Workload(
+            "gnmt",
+            "GNMT/WMT16 on TPUv3-8 (model-bound)",
+            build_gnmt,
+            wmt16_catalog,
+            batch_size=64,
+            model_samples_per_second=5_600.0,
+        ),
+    )
+}
+
+
+def get_workload(name: str, end_to_end: bool = False) -> Workload:
+    """Look up a workload by name."""
+    table = END_TO_END_WORKLOADS if end_to_end else MICROBENCH_WORKLOADS
+    if name not in table:
+        raise KeyError(f"unknown workload {name!r}; have {sorted(table)}")
+    return table[name]

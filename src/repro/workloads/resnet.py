@@ -1,0 +1,116 @@
+"""ResNet/ImageNet input pipeline (He et al. 2016; Deng et al. 2009).
+
+The paper's most I/O-intensive pipeline. Calibration, all from §5:
+
+* JPEG decode services ~2.5 minibatches/s/core on Setup A with batch 128
+  → 3.125 ms/image; a transpose is the second bottleneck (§5.1).
+* decode amplifies the dataset ~5.7x (842 GB decoded from 148 GB, §5.3).
+* random crop follows decode — fused decode+crop is faster but kills
+  cacheability past the source (Figure 11 / §5.3).
+* I/O load is 128 x ~110 KB per minibatch → ~6.9 minibatches per
+  100 MB/s (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph.builder import from_tfrecords
+from repro.graph.datasets import Pipeline
+from repro.graph.udf import CostModel, UserFunction
+from repro.io.catalogs import imagenet_catalog
+from repro.io.filesystem import FileCatalog
+
+BATCH_SIZE = 128
+#: 1 / (2.5 minibatch/s/core x 128 images) — Setup A reference core.
+DECODE_CPU_SECONDS = 3.125e-3
+DECODE_SIZE_RATIO = 5.7
+PARSE_CPU_SECONDS = 1.0e-4
+CROP_CPU_SECONDS = 3.0e-4
+CROP_OUTPUT_BYTES = 224 * 224 * 3.0
+TRANSPOSE_CPU_SECONDS = 6.5e-4
+READ_CPU_SECONDS_PER_RECORD = 5.0e-5
+SHUFFLE_CPU_SECONDS = 5.0e-6
+BATCH_CPU_SECONDS_PER_EXAMPLE = 2.0e-6
+#: fused decode+crop: cheaper than decode followed by crop, but random.
+FUSED_DECODE_CROP_CPU_SECONDS = 2.9e-3
+
+
+def _udfs(fused: bool) -> dict:
+    seeded_crop = UserFunction(
+        "random_crop",
+        cost=CostModel(cpu_seconds=CROP_CPU_SECONDS),
+        output_bytes=CROP_OUTPUT_BYTES,
+        accesses_seed=True,
+    )
+    udfs = {
+        "parse": UserFunction(
+            "parse_example", cost=CostModel(cpu_seconds=PARSE_CPU_SECONDS)
+        ),
+        "transpose": UserFunction(
+            "transpose", cost=CostModel(cpu_seconds=TRANSPOSE_CPU_SECONDS)
+        ),
+    }
+    if fused:
+        udfs["decode"] = UserFunction(
+            "fused_decode_crop",
+            cost=CostModel(cpu_seconds=FUSED_DECODE_CROP_CPU_SECONDS),
+            output_bytes=CROP_OUTPUT_BYTES,
+            # Fusion pulls the seeded crop into the decode body: the whole
+            # op is transitively random (§B.1).
+            calls=(seeded_crop,),
+        )
+    else:
+        udfs["decode"] = UserFunction(
+            "decode_jpeg",
+            cost=CostModel(cpu_seconds=DECODE_CPU_SECONDS),
+            size_ratio=DECODE_SIZE_RATIO,
+        )
+        udfs["crop"] = seeded_crop
+    return udfs
+
+
+def build_resnet(
+    catalog: Optional[FileCatalog] = None,
+    parallelism: int = 1,
+    prefetch: int = 10,
+    fused: bool = False,
+    batch_size: int = BATCH_SIZE,
+    name: Optional[str] = None,
+) -> Pipeline:
+    """The ImageNet pipeline of Figures 1/5.
+
+    ``parallelism`` seeds every tunable (1 = the naive configuration);
+    ``fused=True`` builds the fused decode+crop variant of Figure 11.
+    """
+    catalog = catalog or imagenet_catalog()
+    udfs = _udfs(fused)
+    ds = from_tfrecords(
+        catalog,
+        parallelism=parallelism,
+        read_cpu_seconds_per_record=READ_CPU_SECONDS_PER_RECORD,
+        name="interleave_tfrecord",
+    )
+    ds = ds.map(udfs["parse"], parallelism=parallelism, name="map_parse")
+    ds = ds.map(udfs["decode"], parallelism=parallelism, name="map_decode")
+    if not fused:
+        ds = ds.map(udfs["crop"], parallelism=parallelism, name="map_crop")
+    ds = ds.map(udfs["transpose"], parallelism=parallelism, name="map_transpose")
+    ds = ds.shuffle(1024, cpu_seconds_per_element=SHUFFLE_CPU_SECONDS, name="shuffle")
+    ds = ds.batch(
+        batch_size,
+        parallelism=parallelism,
+        cpu_seconds_per_example=BATCH_CPU_SECONDS_PER_EXAMPLE,
+        name="batch",
+    )
+    if prefetch > 0:
+        ds = ds.prefetch(prefetch, name="prefetch_root")
+    ds = ds.repeat(None, name="repeat")
+    suffix = "_fused" if fused else ""
+    return ds.build(name or f"resnet{suffix}")
+
+
+def build_resnet_fused(**kwargs) -> Pipeline:
+    """Shorthand for the fused decode+crop variant."""
+    kwargs.setdefault("name", "resnet_fused")
+    return build_resnet(fused=True, **kwargs)

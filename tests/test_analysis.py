@@ -1,0 +1,99 @@
+"""Tests for the analytic steady-state model and text tables."""
+
+import math
+
+import pytest
+
+from repro.analysis.steady_state import predict_throughput
+from repro.analysis.tables import format_table
+from repro.graph.builder import from_tfrecords
+from repro.runtime.executor import ModelConsumer, run_pipeline
+from tests.conftest import make_udf
+
+
+class TestSteadyState:
+    def test_matches_simulator_on_cpu_bound(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("w", cpu=1e-3), parallelism=4, name="m")
+            .batch(16, name="b")
+            .prefetch(4, name="pf")
+            .repeat(None, name="r")
+            .build("p")
+        )
+        predicted = predict_throughput(pipe, test_machine)
+        simulated = run_pipeline(pipe, test_machine, duration=3.0, warmup=0.5)
+        assert simulated.throughput == pytest.approx(
+            predicted.throughput, rel=0.1
+        )
+
+    def test_matches_simulator_on_disk_bound(self, small_catalog, test_machine):
+        from repro.host.disk import token_bucket
+
+        slow = test_machine.with_disk(token_bucket(2e6))
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("io")
+        )
+        predicted = predict_throughput(pipe, slow)
+        assert predicted.bottleneck == "disk"
+        # Long window: block-buffered readers deliver in ~0.5 s bursts.
+        simulated = run_pipeline(pipe, slow, duration=30.0, warmup=3.0)
+        assert simulated.throughput == pytest.approx(
+            predicted.throughput, rel=0.12
+        )
+
+    def test_sequential_stage_binds(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=4, name="src")
+            .map(make_udf("w", cpu=1e-5), parallelism=4, name="m")
+            .shuffle(16, cpu_seconds_per_element=1e-3, name="shuf")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("seq")
+        )
+        predicted = predict_throughput(pipe, test_machine)
+        assert predicted.bottleneck == "stage:shuf"
+
+    def test_consumer_cap(self, simple_pipeline, test_machine):
+        predicted = predict_throughput(
+            simple_pipeline, test_machine, consumer_step_seconds=1.0
+        )
+        assert predicted.throughput == pytest.approx(1.0)
+        assert predicted.bottleneck == "consumer"
+
+    def test_cached_waives_upstream_and_disk(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=1, name="src")
+            .map(make_udf("slow", cpu=1e-2), parallelism=1, name="m")
+            .cache(name="c")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("cached")
+        )
+        cached = predict_throughput(pipe, test_machine, cached=True)
+        cold = predict_throughput(pipe, test_machine, cached=False)
+        assert cached.throughput > cold.throughput * 10
+        assert math.isinf(cached.stage_caps["m"])
+
+    def test_cpu_utilization_bounded(self, simple_pipeline, test_machine):
+        predicted = predict_throughput(simple_pipeline, test_machine)
+        assert 0.0 <= predicted.cpu_utilization <= 1.0
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        out = format_table(
+            ("name", "value"), [("a", 1.0), ("long_name", 123456.0)],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "123,456" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(("a", "b"), [(1,)])

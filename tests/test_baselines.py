@@ -1,0 +1,109 @@
+"""Tests for the NAIVE / HEURISTIC / AUTOTUNE / random-walk baselines."""
+
+import math
+
+import pytest
+
+from repro.baselines.autotune import AutotuneTuner
+from repro.baselines.heuristic import heuristic_config
+from repro.baselines.naive import naive_config
+from repro.baselines.random_walk import RandomWalkTuner
+from repro.graph.datasets import PrefetchNode
+from tests.test_core_lp import two_stage_pipeline
+from tests.test_core_rates import model_of
+
+
+class TestNaive:
+    def test_resets_parallelism(self, small_catalog, test_machine):
+        from repro.core.rewriter import set_parallelism
+
+        pipe = set_parallelism(
+            two_stage_pipeline(small_catalog), {"m_heavy": 8, "src": 4}
+        )
+        naive = naive_config(pipe)
+        assert all(n.effective_parallelism == 1 for n in naive.tunables())
+
+    def test_keep_prefetch_flag(self, small_catalog):
+        pipe = two_stage_pipeline(small_catalog)
+        with_pf = naive_config(pipe, keep_prefetch=True)
+        assert any(isinstance(n, PrefetchNode) for n in with_pf.iter_nodes())
+        without = naive_config(pipe, keep_prefetch=False)
+        assert not any(isinstance(n, PrefetchNode) for n in without.iter_nodes())
+
+
+class TestHeuristic:
+    def test_sets_everything_to_cores(self, small_catalog, test_machine):
+        tuned = heuristic_config(two_stage_pipeline(small_catalog), test_machine)
+        assert all(
+            n.effective_parallelism == test_machine.cores
+            for n in tuned.tunables()
+        )
+
+
+class TestRandomWalk:
+    def test_deterministic_for_seed(self, small_catalog):
+        pipe = two_stage_pipeline(small_catalog)
+        a, b = RandomWalkTuner(seed=3), RandomWalkTuner(seed=3)
+        pa, pb = pipe, pipe
+        for _ in range(5):
+            pa = a.step(pa)
+            pb = b.step(pb)
+        assert a.history == b.history
+
+    def test_increments_one_node_per_step(self, small_catalog):
+        pipe = two_stage_pipeline(small_catalog)
+        tuner = RandomWalkTuner(seed=1)
+        stepped = tuner.step(pipe)
+        before = sum(n.effective_parallelism for n in pipe.tunables())
+        after = sum(n.effective_parallelism for n in stepped.tunables())
+        assert after == before + 1
+
+    def test_respects_budget(self, small_catalog):
+        pipe = two_stage_pipeline(small_catalog)
+        tuner = RandomWalkTuner(seed=1)
+        for _ in range(20):
+            pipe = tuner.step(pipe, core_budget=6)
+        assert sum(n.effective_parallelism for n in pipe.tunables()) <= 6
+
+
+class TestAutotune:
+    def test_prediction_unbounded_with_parallelism(
+        self, small_catalog, test_machine
+    ):
+        """The Fig. 7 property: AUTOTUNE's modelled rate can exceed any
+        resource bound when parallelism grows."""
+        model = model_of(two_stage_pipeline(small_catalog), test_machine)
+        tuner = AutotuneTuner(test_machine)
+        modest = tuner.predict_throughput(model)
+        huge_plan = {r.name: 10_000 for r in model.cpu_nodes()}
+        inflated = tuner.predict_throughput(model, huge_plan)
+        # Far beyond what 8 cores can actually deliver.
+        cpu_bound = test_machine.cores / (16 * (1e-4 + 1e-3))
+        assert inflated > cpu_bound * 50
+        assert inflated > modest
+
+    def test_hill_climb_allocates_to_heavy_op(self, small_catalog, test_machine):
+        model = model_of(two_stage_pipeline(small_catalog), test_machine)
+        result = AutotuneTuner(test_machine).tune(model)
+        assert result.plan["m_heavy"] > result.plan["m_cheap"]
+
+    def test_budget_factor_limits_total(self, small_catalog, test_machine):
+        model = model_of(two_stage_pipeline(small_catalog), test_machine)
+        result = AutotuneTuner(test_machine, budget_factor=1.0).tune(model)
+        assert sum(result.plan.values()) <= test_machine.cores
+
+    def test_io_parallelism_default_untouched(self, small_catalog, test_machine):
+        """The §5.4 ResNetLinear pitfall: source parallelism left at its
+        current (naive) value unless explicitly granted."""
+        model = model_of(two_stage_pipeline(small_catalog), test_machine)
+        result = AutotuneTuner(test_machine).tune(model)
+        assert result.pipeline.node("src").effective_parallelism == 2
+
+    def test_io_parallelism_override(self, small_catalog, test_machine):
+        model = model_of(two_stage_pipeline(small_catalog), test_machine)
+        result = AutotuneTuner(test_machine, io_parallelism=10).tune(model)
+        assert result.pipeline.node("src").effective_parallelism == 10
+
+    def test_rejects_bad_budget(self, test_machine):
+        with pytest.raises(ValueError):
+            AutotuneTuner(test_machine, budget_factor=0.0)

@@ -1,0 +1,170 @@
+"""Tests for the cache, prefetch, and disk planners."""
+
+import math
+
+import pytest
+
+from repro.core.cache_planner import plan_cache_exhaustive, plan_cache_greedy
+from repro.core.disk_planner import (
+    benchmark_source_curve,
+    fit_piecewise,
+    io_bound_throughput,
+)
+from repro.core.prefetch_planner import plan_prefetch
+from repro.graph.builder import from_tfrecords
+from repro.host.memory import MemoryBudget
+from tests.conftest import make_udf
+from tests.test_core_rates import model_of
+
+
+def amplifying_pipeline(catalog, random_tail=True):
+    ds = (
+        from_tfrecords(catalog, parallelism=2, name="src")
+        .map(make_udf("decode", cpu=1e-4, size_ratio=6.0), parallelism=2,
+             name="dec")
+    )
+    if random_tail:
+        ds = ds.map(make_udf("aug", cpu=1e-4, random=True), parallelism=2,
+                    name="aug")
+    ds = ds.batch(16, name="b").prefetch(4, name="pf").repeat(None, name="r")
+    return ds.build("amp")
+
+
+class TestCacheGreedy:
+    def test_picks_closest_to_root_that_fits(self, small_catalog, test_machine):
+        model = model_of(amplifying_pipeline(small_catalog), test_machine)
+        decision = plan_cache_greedy(model)
+        # aug/batch are random-tainted; decode (6x bytes) fits 8 GB RAM.
+        assert decision is not None
+        assert decision.target == "dec"
+        assert decision.materialized_bytes == pytest.approx(
+            6 * small_catalog.total_bytes, rel=0.05
+        )
+
+    def test_falls_back_when_too_big(self, small_catalog, test_machine):
+        model = model_of(amplifying_pipeline(small_catalog), test_machine)
+        # Budget fits the 41 MB source but not the 247 MB decode output.
+        budget = MemoryBudget(60e6, headroom_fraction=0.0)
+        decision = plan_cache_greedy(model, budget)
+        assert decision.target in ("src", "dec")
+        assert decision.materialized_bytes <= 60e6
+
+    def test_none_when_nothing_fits(self, small_catalog, test_machine):
+        model = model_of(amplifying_pipeline(small_catalog), test_machine)
+        assert plan_cache_greedy(model, MemoryBudget(1e3)) is None
+
+    def test_none_when_everything_random(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("aug", cpu=1e-4, random=True), parallelism=2,
+                 name="aug")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("rand")
+        )
+        model = model_of(pipe, test_machine)
+        # Only the source itself remains cacheable.
+        decision = plan_cache_greedy(model)
+        assert decision.target == "src"
+
+    def test_batch_output_cacheable_when_deterministic(
+        self, small_catalog, test_machine
+    ):
+        model = model_of(
+            amplifying_pipeline(small_catalog, random_tail=False), test_machine
+        )
+        decision = plan_cache_greedy(model)
+        assert decision.target == "b"  # closest to root
+
+
+class TestCacheExhaustive:
+    def test_agrees_with_greedy_on_linear_pipeline(
+        self, small_catalog, test_machine
+    ):
+        model = model_of(amplifying_pipeline(small_catalog), test_machine)
+        greedy = plan_cache_greedy(model)
+        best = plan_cache_exhaustive(model)
+        assert best is not None
+        assert best.target == greedy.target
+
+    def test_reports_speedup_hint(self, small_catalog, test_machine):
+        model = model_of(amplifying_pipeline(small_catalog), test_machine)
+        best = plan_cache_exhaustive(model)
+        assert best.expected_speedup_hint is None or best.expected_speedup_hint > 0
+
+
+class TestPrefetchPlanner:
+    def test_adds_root_prefetch_when_missing(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("w", cpu=1e-4), parallelism=4, name="m")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("nopf")
+        )
+        model = model_of(pipe, test_machine)
+        decisions = plan_prefetch(model)
+        targets = {d.target for d in decisions}
+        assert "b" in targets  # root insert point is below repeat
+        for d in decisions:
+            assert d.buffer_size >= 2
+
+    def test_respects_existing_prefetch(self, simple_pipeline, test_machine):
+        model = model_of(simple_pipeline, test_machine)
+        decisions = plan_prefetch(model)
+        assert "batch" not in {d.target for d in decisions}
+
+    def test_parallel_stage_gets_buffer(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("w", cpu=1e-4), parallelism=8, name="m")
+            .shuffle(16, name="shuf")
+            .batch(16, name="b")
+            .prefetch(4, name="pf")
+            .repeat(None, name="r")
+            .build("par")
+        )
+        model = model_of(pipe, test_machine)
+        decisions = plan_prefetch(model)
+        by_target = {d.target: d for d in decisions}
+        assert "m" in by_target
+        assert by_target["m"].buffer_size >= 4  # ceil(parallelism/2)
+
+
+class TestDiskPlanner:
+    def test_fit_piecewise_envelope(self):
+        xs = [1, 2, 4, 8]
+        ys = [100.0, 190.0, 330.0, 400.0]
+        segments = fit_piecewise(xs, ys)
+        for x, y in zip(xs, ys):
+            fitted = min(s * x + c for s, c in segments)
+            assert fitted >= y - 1e-6  # concave majorant
+        # Flat beyond the last point.
+        assert min(s * 100 + c for s, c in segments) == pytest.approx(400.0)
+
+    def test_fit_single_point(self):
+        segments = fit_piecewise([4], [250.0])
+        assert segments == [(0.0, 250.0)]
+
+    def test_fit_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_piecewise([1, 2], [1.0])
+
+    def test_benchmark_curve_monotone(self, small_catalog, test_machine):
+        from repro.host.disk import DiskSpec
+
+        spec = DiskSpec("d", curve=((1.0, 50e6), (4.0, 160e6), (8.0, 200e6)))
+        machine = test_machine.with_disk(spec)
+        pipe = from_tfrecords(small_catalog, name="src").repeat(None).build("p")
+        curve = benchmark_source_curve(
+            pipe, machine, parallelisms=(1, 2, 4, 8), duration=1.0, warmup=0.2
+        )
+        assert curve.bandwidths == sorted(curve.bandwidths)
+        assert curve.max_bandwidth == pytest.approx(200e6, rel=0.1)
+        assert curve.minimal_saturating_parallelism(0.9) <= 8
+
+    def test_io_bound_throughput(self):
+        # The paper's ResNet example: ~6.9 minibatches per 100 MB/s.
+        bpm = 128 * 110e3
+        assert io_bound_throughput(bpm, 100e6) == pytest.approx(7.1, rel=0.05)
+        assert math.isinf(io_bound_throughput(0.0, 1.0))

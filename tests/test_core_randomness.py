@@ -1,0 +1,71 @@
+"""Tests for the §B.1 randomness transitive closure."""
+
+from repro.core.randomness import node_is_random, tainted_nodes, udf_is_random
+from repro.graph.builder import from_tfrecords
+from repro.graph.udf import UserFunction
+from tests.conftest import make_udf
+
+
+class TestUdfClosure:
+    def test_direct_seed_access(self):
+        assert udf_is_random(UserFunction("f", accesses_seed=True))
+        assert not udf_is_random(UserFunction("f"))
+
+    def test_transitive_one_hop(self):
+        rng = UserFunction("rng", accesses_seed=True)
+        outer = UserFunction("outer", calls=(rng,))
+        assert udf_is_random(outer)
+
+    def test_transitive_deep_chain(self):
+        f = UserFunction("leaf", accesses_seed=True)
+        for i in range(5):
+            f = UserFunction(f"level{i}", calls=(f,))
+        assert udf_is_random(f)
+
+    def test_deterministic_chain(self):
+        f = UserFunction("leaf")
+        g = UserFunction("mid", calls=(f,))
+        assert not udf_is_random(UserFunction("top", calls=(g, f)))
+
+    def test_shared_subfunction_visited_once(self):
+        shared = UserFunction("shared")
+        top = UserFunction("top", calls=(shared, shared, shared))
+        assert not udf_is_random(top)
+
+
+class TestTaint:
+    def test_taint_propagates_to_root(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .map(make_udf("decode"), name="dec")
+            .map(make_udf("crop", random=True), name="crop")
+            .map(make_udf("transpose"), name="tr")
+            .batch(4, name="b")
+            .build("p")
+        )
+        tainted = tainted_nodes(pipe)
+        assert tainted == {"crop", "tr", "b"}
+
+    def test_no_random_means_no_taint(self, simple_pipeline):
+        assert tainted_nodes(simple_pipeline) == set()
+
+    def test_fused_random_taints_from_fusion_point(self, small_catalog):
+        """Figure 11: fusing crop into decode makes decode random too."""
+        seeded = UserFunction("crop", accesses_seed=True)
+        fused = UserFunction("fused_decode_crop", calls=(seeded,))
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .map(fused, name="dec")
+            .batch(4, name="b")
+            .build("p")
+        )
+        assert tainted_nodes(pipe) == {"dec", "b"}
+
+    def test_shuffle_not_random_for_caching(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .shuffle(16, name="shuf")
+            .build("p")
+        )
+        assert tainted_nodes(pipe) == set()
+        assert not node_is_random(pipe.node("shuf"))

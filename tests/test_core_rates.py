@@ -1,0 +1,187 @@
+"""Tests for resource-accounted rates (§4.4 / §A)."""
+
+import math
+
+import pytest
+
+from repro.core.rates import build_model
+from repro.core.trace import PipelineTrace
+from repro.graph.builder import from_tfrecords
+from repro.runtime.executor import run_pipeline
+from tests.conftest import make_udf
+
+
+def model_of(pipeline, machine, duration=3.0, warmup=0.5, **kw):
+    result = run_pipeline(pipeline, machine, duration=duration, warmup=warmup, **kw)
+    return build_model(PipelineTrace.from_run(result))
+
+
+class TestVisitRatios:
+    def test_observed_matches_structural(self, simple_pipeline, test_machine):
+        model = model_of(simple_pipeline, test_machine)
+        structural = simple_pipeline.visit_ratios()
+        for name, rates in model.rates.items():
+            if math.isfinite(structural[name]):
+                assert rates.visit_ratio == pytest.approx(
+                    structural[name], rel=0.05
+                ), name
+
+    def test_root_visit_ratio_is_one(self, simple_pipeline, test_machine):
+        model = model_of(simple_pipeline, test_machine)
+        assert model.rates["repeat"].visit_ratio == pytest.approx(1.0)
+
+
+class TestRates:
+    def test_rate_per_core_matches_cost(self, simple_pipeline, test_machine):
+        model = model_of(simple_pipeline, test_machine)
+        # map_work: 0.5 ms/elem, 16 elems/minibatch -> R = 125 mb/s/core.
+        assert model.rates["map_work"].rate_per_core == pytest.approx(
+            1.0 / (5e-4 * 16), rel=0.05
+        )
+
+    def test_zero_cpu_node_has_infinite_rate(self, simple_pipeline, test_machine):
+        model = model_of(simple_pipeline, test_machine)
+        assert math.isinf(model.rates["prefetch"].rate_per_core)
+
+    def test_scaled_rate_multiplies_parallelism(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("w", cpu=1e-3), parallelism=3, name="m")
+            .batch(16, name="b")
+            .prefetch(4, name="pf")
+            .repeat(None, name="r")
+            .build("p")
+        )
+        model = model_of(pipe, test_machine)
+        rates = model.rates["m"]
+        assert rates.parallelism == 3
+        assert rates.scaled_rate == pytest.approx(
+            3 * rates.effective_rate_per_core
+        )
+        # The effective (busy-time) rate sits at or below the CPU-only
+        # rate: overhead and I/O only slow a thread down.
+        assert rates.effective_rate_per_core <= rates.rate_per_core * 1.001
+
+    def test_cpu_nodes_excludes_free_ops(self, simple_pipeline, test_machine):
+        model = model_of(simple_pipeline, test_machine)
+        names = {r.name for r in model.cpu_nodes()}
+        assert "map_work" in names
+        assert "prefetch" not in names
+        assert "repeat" not in names
+
+    def test_bytes_per_minibatch(self, simple_pipeline, test_machine):
+        model = model_of(simple_pipeline, test_machine)
+        expected = 16 * 10e3  # batch x record bytes
+        assert model.bytes_per_minibatch == pytest.approx(expected, rel=0.05)
+
+
+class TestSourceSizeEstimation:
+    def test_full_observation_is_exact(self, small_catalog, test_machine):
+        # Small dataset + repeat: the trace sees every file.
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=4, name="src")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("p")
+        )
+        model = model_of(pipe, test_machine, duration=3.0)
+        est = model.source_estimates["src"]
+        assert est.estimated_bytes == pytest.approx(
+            small_catalog.total_bytes, rel=0.02
+        )
+
+    def test_subsample_rescales(self, test_machine):
+        """§A: a small file subsample estimates the dataset within a few
+        percent (1% of ImageNet files -> ~1% error)."""
+        from repro.io.filesystem import FileCatalog
+
+        catalog = FileCatalog("big", 1000, 500.0, 20e3, size_cv=0.15, seed=3)
+        pipe = (
+            from_tfrecords(catalog, parallelism=2, name="src")
+            .map(make_udf("slow", cpu=2e-3), parallelism=2, name="m")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("p")
+        )
+        model = model_of(pipe, test_machine, duration=2.0)
+        est = model.source_estimates["src"]
+        assert 0 < est.observed_files < catalog.num_files  # genuine subsample
+        assert est.estimated_bytes == pytest.approx(
+            catalog.total_bytes, rel=0.15
+        )
+
+    def test_cardinality_estimated_from_bytes(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=4, name="src")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("p")
+        )
+        model = model_of(pipe, test_machine)
+        est = model.source_estimates["src"]
+        assert est.estimated_records == pytest.approx(
+            small_catalog.total_records, rel=0.05
+        )
+
+
+class TestMaterialization:
+    def test_decode_amplifies_materialized_size(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=4, name="src")
+            .map(make_udf("decode", cpu=1e-5, size_ratio=6.0), parallelism=2,
+                 name="dec")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("p")
+        )
+        model = model_of(pipe, test_machine)
+        src_bytes = model.rates["src"].materialized_bytes
+        dec_bytes = model.rates["dec"].materialized_bytes
+        assert dec_bytes == pytest.approx(6.0 * src_bytes, rel=0.05)
+        assert src_bytes == pytest.approx(small_catalog.total_bytes, rel=0.05)
+
+    def test_filter_shrinks_materialized_size(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=4, name="src")
+            .filter(make_udf("f", cpu=1e-6), keep_fraction=0.5, name="filt")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("p")
+        )
+        model = model_of(pipe, test_machine)
+        assert model.rates["filt"].materialized_bytes == pytest.approx(
+            0.5 * model.rates["src"].materialized_bytes, rel=0.05
+        )
+
+    def test_random_node_not_cacheable(self, small_catalog, test_machine):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("aug", cpu=1e-5, random=True), parallelism=2, name="aug")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("p")
+        )
+        model = model_of(pipe, test_machine)
+        assert not model.rates["aug"].cacheable
+        assert not model.rates["b"].cacheable
+        assert model.rates["src"].cacheable
+
+    def test_cache_candidates_closest_to_root_first(
+        self, small_catalog, test_machine
+    ):
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("a", cpu=1e-5), parallelism=2, name="ma")
+            .map(make_udf("b2", cpu=1e-5), parallelism=2, name="mb")
+            .batch(16, name="b")
+            .repeat(None, name="r")
+            .build("p")
+        )
+        model = model_of(pipe, test_machine)
+        names = [c.name for c in model.cache_candidates()]
+        assert names.index("b") < names.index("mb") < names.index("ma")
+
+    def test_repeat_node_uncacheable(self, simple_pipeline, test_machine):
+        model = model_of(simple_pipeline, test_machine)
+        assert not model.rates["repeat"].cacheable
+        assert math.isinf(model.rates["repeat"].cardinality)

@@ -1,0 +1,77 @@
+"""Tests for the §3 fleet analysis."""
+
+import pytest
+
+from repro.fleet.analysis import latency_cdf, latency_fractions, summarize
+from repro.fleet.generator import FleetConfig, generate_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(FleetConfig(num_jobs=800, seed=11))
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = generate_fleet(FleetConfig(num_jobs=50, seed=2))
+        b = generate_fleet(FleetConfig(num_jobs=50, seed=2))
+        assert [j.next_latency for j in a] == [j.next_latency for j in b]
+
+    def test_job_fields_sane(self, fleet):
+        for job in fleet:
+            assert job.next_latency >= 0
+            assert 0 <= job.cpu_utilization <= 1
+            assert 0 <= job.membw_utilization <= 1
+            assert job.pipeline_rate > 0
+            assert job.model_rate > 0
+
+    def test_naive_jobs_slower_than_tuned(self, fleet):
+        import numpy as np
+
+        naive = [j.pipeline_rate for j in fleet if j.config == "naive"]
+        tuned = [j.pipeline_rate for j in fleet if j.config == "tuned"]
+        assert np.median(naive) < np.median(tuned)
+
+    def test_input_bound_jobs_have_latency(self, fleet):
+        for job in fleet:
+            if job.input_bound:
+                assert job.next_latency > 25e-6 * 0.99
+
+
+class TestSummary:
+    def test_observation_1_quantiles(self, fleet):
+        """Obs. 1: 92% > 50us, 62% > 1ms, 16% > 100ms (loose bands)."""
+        s = summarize(fleet)
+        assert s.frac_over_50us == pytest.approx(0.92, abs=0.07)
+        assert s.frac_over_1ms == pytest.approx(0.62, abs=0.12)
+        assert s.frac_over_100ms == pytest.approx(0.16, abs=0.08)
+
+    def test_observation_2_low_utilization_when_stalled(self, fleet):
+        """Obs. 2: heavily input-bound jobs do not saturate the host."""
+        s = summarize(fleet)
+        worst = s.band(">100ms")
+        assert worst.jobs > 0
+        assert worst.mean_cpu < 0.5
+        assert worst.mean_membw < 0.5
+        # The >100ms cluster uses less CPU than faster jobs (Fig. 4).
+        assert worst.mean_cpu <= s.band("50us-100ms").mean_cpu + 0.02
+
+    def test_fractions_monotone(self, fleet):
+        f50, f1k, f100k = latency_fractions(fleet)
+        assert f50 >= f1k >= f100k
+
+    def test_cdf_monotone(self, fleet):
+        cdf = latency_cdf(fleet, points=20)
+        lats = [p[0] for p in cdf]
+        assert lats == sorted(lats)
+        assert cdf[0][1] == 0.0 and cdf[-1][1] == 1.0
+
+    def test_band_lookup(self, fleet):
+        s = summarize(fleet)
+        assert s.band("<50us").label == "<50us"
+        with pytest.raises(KeyError):
+            s.band("nope")
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            latency_fractions([])

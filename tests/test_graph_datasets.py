@@ -1,0 +1,125 @@
+"""Unit tests for dataset node types and the Pipeline container."""
+
+import math
+
+import pytest
+
+from repro.graph.builder import from_tfrecords
+from repro.graph.datasets import (
+    AUTOTUNE,
+    BatchNode,
+    CacheNode,
+    MapNode,
+    Pipeline,
+    RepeatNode,
+    ShuffleNode,
+    TakeNode,
+)
+from tests.conftest import make_udf
+
+
+class TestNodeBasics:
+    def test_source_is_tunable(self, small_catalog):
+        src = from_tfrecords(small_catalog, parallelism=4, name="src").node
+        assert src.tunable
+        assert src.effective_parallelism == 4
+        assert not src.sequential
+
+    def test_autotune_sentinel_maps_to_one(self, small_catalog):
+        src = from_tfrecords(small_catalog, parallelism=AUTOTUNE, name="s").node
+        assert src.effective_parallelism == 1
+
+    def test_shuffle_is_sequential(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .shuffle(8, name="shuf")
+            .build("p")
+        )
+        assert pipe.node("shuf").sequential
+        assert pipe.node("shuf").effective_parallelism == 1
+
+    def test_sequential_map(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .map(make_udf("pack"), sequential=True, name="pack")
+            .build("p")
+        )
+        node = pipe.node("pack")
+        assert node.sequential
+        assert not node.tunable
+
+    def test_batch_rejects_zero(self, small_catalog):
+        src = from_tfrecords(small_catalog, name="src").node
+        with pytest.raises(ValueError, match="batch_size"):
+            BatchNode("b", src, batch_size=0)
+
+    def test_repeat_rejects_zero_count(self, small_catalog):
+        src = from_tfrecords(small_catalog, name="src").node
+        with pytest.raises(ValueError, match="repeat"):
+            RepeatNode("r", src, count=0)
+
+    def test_take_rejects_zero(self, small_catalog):
+        src = from_tfrecords(small_catalog, name="src").node
+        with pytest.raises(ValueError):
+            TakeNode("t", src, count=0)
+
+    def test_cache_rejects_bad_storage(self, small_catalog):
+        src = from_tfrecords(small_catalog, name="src").node
+        with pytest.raises(ValueError, match="storage"):
+            CacheNode("c", src, storage="tape")
+
+    def test_elements_ratio_by_kind(self, small_catalog):
+        src = from_tfrecords(small_catalog, name="src").node
+        assert src.elements_ratio() == 1.0
+        m = MapNode("m", src, make_udf("f"))
+        assert m.elements_ratio() == 1.0
+        b = BatchNode("b", m, batch_size=32)
+        assert b.elements_ratio() == pytest.approx(1 / 32)
+
+
+class TestPipeline:
+    def test_duplicate_names_rejected(self, small_catalog):
+        src = from_tfrecords(small_catalog, name="x").node
+        m = MapNode("x", src, make_udf("f"))
+        with pytest.raises(ValueError, match="duplicate"):
+            Pipeline(m)
+
+    def test_topological_order_sources_first(self, simple_pipeline):
+        order = [n.name for n in simple_pipeline.topological_order()]
+        assert order[0] == "src"
+        assert order[-1] == "repeat"
+        assert order.index("map_work") < order.index("batch")
+
+    def test_node_lookup_error_lists_names(self, simple_pipeline):
+        with pytest.raises(KeyError, match="no node named"):
+            simple_pipeline.node("missing")
+
+    def test_parent_of(self, simple_pipeline):
+        assert simple_pipeline.parent_of("src").name == "map_work"
+        assert simple_pipeline.parent_of("repeat") is None
+
+    def test_visit_ratios_account_for_batch(self, simple_pipeline):
+        ratios = simple_pipeline.visit_ratios()
+        assert ratios["repeat"] == 1.0
+        assert ratios["batch"] == 1.0
+        # Pre-batch nodes complete batch_size elements per minibatch.
+        assert ratios["map_work"] == pytest.approx(16.0)
+        assert ratios["src"] == pytest.approx(16.0)
+
+    def test_batch_size_product(self, simple_pipeline):
+        assert simple_pipeline.batch_size() == 16
+
+    def test_tunables(self, simple_pipeline):
+        names = {n.name for n in simple_pipeline.tunables()}
+        assert names == {"src", "map_work", "batch"}
+
+    def test_clone_is_deep_for_nodes(self, simple_pipeline):
+        clone = simple_pipeline.clone()
+        clone.node("map_work").parallelism = 7
+        assert simple_pipeline.node("map_work").parallelism == 1
+        assert [n.name for n in clone.topological_order()] == [
+            n.name for n in simple_pipeline.topological_order()
+        ]
+
+    def test_sources(self, simple_pipeline):
+        assert [s.name for s in simple_pipeline.sources()] == ["src"]

@@ -1,0 +1,98 @@
+"""Round-trip tests for pipeline serialization (the trace program)."""
+
+import json
+
+import pytest
+
+from repro.graph.builder import from_tfrecords
+from repro.graph.serialize import (
+    pipeline_from_dict,
+    pipeline_from_json,
+    pipeline_to_dict,
+    pipeline_to_json,
+)
+from tests.conftest import make_udf
+
+
+def build_full(catalog):
+    """A pipeline touching every node kind."""
+    return (
+        from_tfrecords(catalog, parallelism=3, name="src",
+                       read_cpu_seconds_per_record=1e-5)
+        .map(make_udf("decode", cpu=1e-3, size_ratio=4.0), parallelism=2,
+             name="decode")
+        .filter(make_udf("keep"), keep_fraction=0.9, name="filt")
+        .map(make_udf("pack"), sequential=True, name="pack")
+        .shuffle(64, cpu_seconds_per_element=1e-6, seed=7, name="shuf")
+        .batch(8, cpu_seconds_per_example=1e-7, name="batch")
+        .take(100, name="take")
+        .cache(name="cache")
+        .prefetch(5, name="pf")
+        .repeat(3, name="rep")
+        .build("full")
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self, small_catalog):
+        pipe = build_full(small_catalog)
+        restored = pipeline_from_dict(pipeline_to_dict(pipe))
+        assert [n.name for n in restored.topological_order()] == [
+            n.name for n in pipe.topological_order()
+        ]
+        assert [n.kind for n in restored.topological_order()] == [
+            n.kind for n in pipe.topological_order()
+        ]
+
+    def test_round_trip_preserves_attrs(self, small_catalog):
+        pipe = build_full(small_catalog)
+        restored = pipeline_from_dict(pipeline_to_dict(pipe))
+        assert restored.node("src").parallelism == 3
+        assert restored.node("src").catalog.num_files == small_catalog.num_files
+        assert restored.node("decode").udf.size_ratio == 4.0
+        assert restored.node("filt").keep_fraction == 0.9
+        assert restored.node("pack").sequential
+        assert restored.node("shuf").buffer_size == 64
+        assert restored.node("shuf").seed == 7
+        assert restored.node("batch").batch_size == 8
+        assert restored.node("take").count == 100
+        assert restored.node("pf").buffer_size == 5
+        assert restored.node("rep").count == 3
+
+    def test_json_round_trip(self, small_catalog):
+        pipe = build_full(small_catalog)
+        text = pipeline_to_json(pipe)
+        json.loads(text)  # valid JSON
+        restored = pipeline_from_json(text)
+        assert restored.name == "full"
+
+    def test_double_round_trip_is_stable(self, small_catalog):
+        pipe = build_full(small_catalog)
+        once = pipeline_to_json(pipe)
+        twice = pipeline_to_json(pipeline_from_json(once))
+        assert once == twice
+
+    def test_rejects_unknown_version(self, small_catalog):
+        data = pipeline_to_dict(build_full(small_catalog))
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            pipeline_from_dict(data)
+
+    def test_rejects_unknown_kind(self, small_catalog):
+        data = pipeline_to_dict(build_full(small_catalog))
+        data["nodes"][0]["kind"] = "teleport"
+        with pytest.raises(ValueError, match="unknown node kind"):
+            pipeline_from_dict(data)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            pipeline_from_dict({"version": 1, "nodes": []})
+
+    def test_shuffle_and_repeat_round_trip(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .shuffle_and_repeat(32, name="snr")
+            .build("g")
+        )
+        restored = pipeline_from_dict(pipeline_to_dict(pipe))
+        assert restored.node("snr").kind == "shuffle_and_repeat"

@@ -1,0 +1,106 @@
+"""Tests for element-signature propagation (n_i / b_i declared rules)."""
+
+import math
+
+import pytest
+
+from repro.graph.builder import from_tfrecords
+from repro.graph.signature import infer_signatures
+from tests.conftest import make_udf
+
+
+class TestSignatures:
+    def test_source_spec_matches_catalog(self, small_catalog):
+        pipe = from_tfrecords(small_catalog, name="src").build("p")
+        spec = infer_signatures(pipe)["src"]
+        assert spec.kind == "record"
+        assert spec.cardinality == small_catalog.total_records
+        assert spec.avg_bytes == pytest.approx(small_catalog.mean_bytes_per_record)
+        assert spec.total_bytes == pytest.approx(small_catalog.total_bytes, rel=1e-6)
+
+    def test_decode_amplifies_bytes_not_count(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .map(make_udf("decode", size_ratio=6.0), name="dec")
+            .build("p")
+        )
+        specs = infer_signatures(pipe)
+        assert specs["dec"].cardinality == specs["src"].cardinality
+        assert specs["dec"].avg_bytes == pytest.approx(6 * specs["src"].avg_bytes)
+
+    def test_filter_shrinks_count_not_bytes(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .filter(make_udf("f"), keep_fraction=0.5, name="filt")
+            .build("p")
+        )
+        specs = infer_signatures(pipe)
+        assert specs["filt"].cardinality == pytest.approx(
+            0.5 * specs["src"].cardinality
+        )
+        assert specs["filt"].avg_bytes == specs["src"].avg_bytes
+
+    def test_batch_trades_count_for_bytes(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src").batch(32, name="b").build("p")
+        )
+        specs = infer_signatures(pipe)
+        assert specs["b"].kind == "minibatch"
+        assert specs["b"].avg_bytes == pytest.approx(32 * specs["src"].avg_bytes)
+        assert specs["b"].cardinality == math.floor(specs["src"].cardinality / 32)
+
+    def test_unbounded_repeat_is_infinite(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src").repeat(None, name="r").build("p")
+        )
+        assert math.isinf(infer_signatures(pipe)["r"].cardinality)
+
+    def test_bounded_repeat_multiplies(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src").repeat(3, name="r").build("p")
+        )
+        specs = infer_signatures(pipe)
+        assert specs["r"].cardinality == pytest.approx(3 * specs["src"].cardinality)
+
+    def test_take_truncates(self, small_catalog):
+        pipe = from_tfrecords(small_catalog, name="src").take(10, name="t").build("p")
+        assert infer_signatures(pipe)["t"].cardinality == 10
+
+    def test_shuffle_and_repeat_is_infinite(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .shuffle_and_repeat(16, name="snr")
+            .build("p")
+        )
+        assert math.isinf(infer_signatures(pipe)["snr"].cardinality)
+
+    def test_fixed_output_bytes(self, small_catalog):
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .map(make_udf("crop"), name="crop")
+            .build("p")
+        )
+        # Rebuild with a fixed-output UDF.
+        from repro.graph.udf import UserFunction
+
+        crop = UserFunction("crop", output_bytes=1234.0)
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .map(crop, name="crop")
+            .build("p2")
+        )
+        assert infer_signatures(pipe)["crop"].avg_bytes == 1234.0
+
+    def test_decode_then_batch_composition(self, small_catalog):
+        """End-to-end: root materialization = records x ratio x bytes."""
+        pipe = (
+            from_tfrecords(small_catalog, name="src")
+            .map(make_udf("decode", size_ratio=2.0), name="dec")
+            .batch(16, name="b")
+            .build("p")
+        )
+        specs = infer_signatures(pipe)
+        assert specs["b"].total_bytes == pytest.approx(
+            specs["dec"].cardinality // 16 * 16 * specs["dec"].avg_bytes,
+            rel=0.01,
+        )

@@ -1,0 +1,58 @@
+"""Tests for the TFRecord framing model and real encode/decode."""
+
+import pytest
+
+from repro.io.tfrecord import TFRecordFormat
+
+
+class TestFraming:
+    def test_record_bytes_adds_framing(self):
+        fmt = TFRecordFormat()
+        assert fmt.record_bytes(100) == 100 + fmt.header_bytes + fmt.footer_bytes
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            TFRecordFormat().record_bytes(-1)
+
+    def test_records_in_file(self):
+        fmt = TFRecordFormat()
+        per = fmt.record_bytes(100)
+        assert fmt.records_in_file(per * 10, 100) == 10
+        assert fmt.records_in_file(per * 10 + 5, 100) == 10
+        assert fmt.records_in_file(per - 1, 100) == 0
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        fmt = TFRecordFormat()
+        payloads = [b"hello", b"", b"x" * 1000]
+        blob = fmt.encode(payloads)
+        assert list(fmt.decode(blob)) == payloads
+
+    def test_blob_size_matches_framing(self):
+        fmt = TFRecordFormat()
+        blob = fmt.encode([b"abc"])
+        assert len(blob) == fmt.record_bytes(3)
+
+    def test_detects_corrupt_payload(self):
+        fmt = TFRecordFormat()
+        blob = bytearray(fmt.encode([b"hello world"]))
+        blob[14] ^= 0xFF  # flip a payload byte
+        with pytest.raises(ValueError, match="CRC"):
+            list(fmt.decode(bytes(blob)))
+
+    def test_detects_corrupt_length(self):
+        fmt = TFRecordFormat()
+        blob = bytearray(fmt.encode([b"hello world"]))
+        blob[0] ^= 0xFF  # flip a length byte
+        with pytest.raises(ValueError):
+            list(fmt.decode(bytes(blob)))
+
+    def test_detects_truncation(self):
+        fmt = TFRecordFormat()
+        blob = fmt.encode([b"hello world"])
+        with pytest.raises(ValueError, match="truncated"):
+            list(fmt.decode(blob[:-2]))
+
+    def test_empty_blob_yields_nothing(self):
+        assert list(TFRecordFormat().decode(b"")) == []

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: visit ratios, byte accounting, LP feasibility, the disk
+curve fit, queues, and the subsample estimator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.disk_planner import fit_piecewise
+from repro.graph.builder import from_tfrecords
+from repro.graph.serialize import pipeline_from_dict, pipeline_to_dict
+from repro.graph.signature import infer_signatures
+from repro.graph.udf import CostModel, UserFunction
+from repro.host.disk import DiskSpec
+from repro.io.filesystem import FileCatalog
+from repro.runtime.engine import Get, Put, SimQueue, Simulation
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+catalogs = st.builds(
+    FileCatalog,
+    name=st.just("prop"),
+    num_files=st.integers(1, 64),
+    records_per_file=st.floats(1.0, 500.0),
+    bytes_per_record=st.floats(1.0, 1e6),
+    size_cv=st.floats(0.0, 0.5),
+    seed=st.integers(0, 1000),
+)
+
+
+@st.composite
+def chain_pipelines(draw):
+    """Random linear pipelines: src -> (map|filter)* -> batch? -> repeat?"""
+    catalog = draw(catalogs)
+    ds = from_tfrecords(catalog, parallelism=draw(st.integers(1, 8)), name="src")
+    n_ops = draw(st.integers(0, 4))
+    for i in range(n_ops):
+        kind = draw(st.sampled_from(["map", "filter"]))
+        if kind == "map":
+            udf = UserFunction(
+                f"op{i}",
+                cost=CostModel(cpu_seconds=draw(st.floats(0.0, 1e-3))),
+                size_ratio=draw(st.floats(0.1, 10.0)),
+            )
+            ds = ds.map(udf, parallelism=draw(st.integers(1, 8)), name=f"map{i}")
+        else:
+            udf = UserFunction(f"op{i}")
+            ds = ds.filter(
+                udf, keep_fraction=draw(st.floats(0.1, 1.0)), name=f"filt{i}"
+            )
+    if draw(st.booleans()):
+        ds = ds.batch(draw(st.integers(1, 64)), name="batch")
+    if draw(st.booleans()):
+        ds = ds.repeat(None, name="repeat")
+    return ds.build("prop", validate=True)
+
+
+class TestCatalogProperties:
+    @given(catalogs)
+    @settings(max_examples=50, deadline=None)
+    def test_totals_are_sums(self, catalog):
+        assert catalog.total_bytes == pytest.approx(
+            sum(f.size_bytes for f in catalog.files)
+        )
+        assert catalog.total_records == sum(f.num_records for f in catalog.files)
+        assert all(f.num_records >= 1 for f in catalog.files)
+
+    @given(catalogs, st.floats(0.1, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_scales_total_records(self, catalog, factor):
+        scaled = catalog.scaled(factor)
+        # Total records scale by the factor (modulo per-file rounding);
+        # the file count never drops below the interleave minimum.
+        expected = catalog.num_files * catalog.records_per_file * factor
+        assert scaled.num_files * scaled.records_per_file == pytest.approx(
+            max(expected, scaled.num_files), rel=0.01
+        )
+        assert scaled.num_files >= min(8, catalog.num_files)
+
+
+class TestPipelineProperties:
+    @given(chain_pipelines())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_serialization_round_trips(self, pipeline):
+        data = pipeline_to_dict(pipeline)
+        restored = pipeline_from_dict(data)
+        assert pipeline_to_dict(restored) == data
+
+    @given(chain_pipelines())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_visit_ratio_recurrence(self, pipeline):
+        """V_child = V_parent / ratio(parent): the §4.4 recurrence."""
+        ratios = pipeline.visit_ratios()
+        assert ratios[pipeline.root.name] == 1.0
+        for node in pipeline.iter_nodes():
+            for child in node.inputs:
+                r = node.elements_ratio()
+                if r > 0 and math.isfinite(ratios[node.name]):
+                    assert ratios[child.name] == pytest.approx(
+                        ratios[node.name] / r
+                    )
+
+    @given(chain_pipelines())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_signature_cardinality_never_negative(self, pipeline):
+        for spec in infer_signatures(pipeline).values():
+            assert spec.cardinality >= 0
+            assert spec.avg_bytes >= 0
+
+    @given(chain_pipelines())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_clone_preserves_structure(self, pipeline):
+        clone = pipeline.clone()
+        assert [n.name for n in clone.topological_order()] == [
+            n.name for n in pipeline.topological_order()
+        ]
+        assert clone.root is not pipeline.root
+
+
+class TestDiskCurveProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 128), st.floats(1.0, 1e9)),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda p: p[0],
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fit_is_concave_majorant(self, points):
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        segments = fit_piecewise(xs, ys)
+        assert segments
+        for x, y in zip(xs, ys):
+            fitted = min(s * x + c for s, c in segments)
+            assert fitted >= y - max(1e-6, abs(y) * 1e-9)
+
+    @given(
+        st.lists(st.floats(10.0, 1e9), min_size=1, max_size=5),
+        st.floats(1.0, 64.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_diskspec_interp_within_range(self, bws, streams):
+        bws = sorted(bws)
+        curve = tuple((float(i + 1), bw) for i, bw in enumerate(bws))
+        # Enforce concavity by taking the running concave hull via fit.
+        segments = fit_piecewise([p[0] for p in curve], [p[1] for p in curve])
+        spec_points = [(x, min(s * x + c for s, c in segments))
+                       for x, _ in curve]
+        spec = DiskSpec("d", curve=tuple(spec_points))
+        bw = spec.bandwidth(streams)
+        assert 0 <= bw <= spec.max_bandwidth * (1 + 1e-9)
+
+
+class TestQueueProperties:
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=30),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_through_bounded_queue(self, items, capacity):
+        sim = Simulation()
+        q = SimQueue(sim, capacity=capacity)
+        received = []
+
+        def producer():
+            for item in items:
+                yield Put(q, item)
+
+        def consumer():
+            for _ in items:
+                received.append((yield Get(q)))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run(1.0)
+        assert received == items
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_multi_producer_conservation(self, n_prod, capacity, per_prod):
+        """No element is lost or duplicated across producers."""
+        sim = Simulation()
+        q = SimQueue(sim, capacity=capacity)
+        received = []
+
+        def producer(tag):
+            for i in range(per_prod):
+                yield Put(q, (tag, i))
+
+        def consumer():
+            for _ in range(n_prod * per_prod):
+                received.append((yield Get(q)))
+
+        for t in range(n_prod):
+            sim.spawn(producer(t))
+        sim.spawn(consumer())
+        sim.run(10.0)
+        assert sorted(received) == sorted(
+            (t, i) for t in range(n_prod) for i in range(per_prod)
+        )
+
+
+class TestSubsampleEstimator:
+    @given(st.integers(2, 200), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_rescaled_subsample_concentrates(self, num_files, seed):
+        """§A: (m/n) x observed-sum estimates total size; with CLT-style
+        concentration the full observation is exact."""
+        catalog = FileCatalog("s", num_files, 100.0, 1000.0,
+                              size_cv=0.2, seed=seed)
+        sizes = np.array([f.size_bytes for f in catalog.files])
+        m = max(1, num_files // 4)
+        estimate = sizes[:m].sum() * (num_files / m)
+        # Lognormal with cv=0.2: 4x-subsample stays within ~35%.
+        assert estimate == pytest.approx(
+            catalog.total_bytes, rel=0.35 + 2.0 / math.sqrt(m)
+        )
+        full = sizes.sum() * (num_files / num_files)
+        assert full == pytest.approx(catalog.total_bytes)

@@ -1,0 +1,409 @@
+"""Tests for the discrete-event engine primitives."""
+
+import pytest
+
+from repro.host.disk import DiskSpec, token_bucket
+from repro.runtime.engine import (
+    EOS,
+    Compute,
+    CoreScheduler,
+    FairShareDisk,
+    Get,
+    Put,
+    SimQueue,
+    Simulation,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEventLoop:
+    def test_timeouts_advance_clock(self):
+        sim = Simulation()
+        log = []
+
+        def proc():
+            yield Timeout(1.0)
+            log.append(sim.now)
+            yield Timeout(2.0)
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run(10.0)
+        assert log == [1.0, 3.0]
+
+    def test_run_stops_at_until(self):
+        sim = Simulation()
+
+        def proc():
+            while True:
+                yield Timeout(1.0)
+
+        sim.spawn(proc())
+        assert sim.run(5.5) == 5.5
+        assert sim.now == 5.5
+
+    def test_run_returns_early_when_drained(self):
+        sim = Simulation()
+
+        def proc():
+            yield Timeout(2.0)
+
+        sim.spawn(proc())
+        assert sim.run(100.0) == 2.0
+
+    def test_deterministic_ordering_at_same_time(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(1.0, lambda: log.append("b"))
+        sim.run(2.0)
+        assert log == ["a", "b"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().schedule(-1.0, lambda: None)
+
+    def test_unknown_request_rejected(self):
+        sim = Simulation()
+
+        def proc():
+            yield "nonsense"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError, match="unknown request"):
+            sim.run(1.0)
+
+
+class TestSimQueue:
+    def _sim(self):
+        return Simulation()
+
+    def test_fifo_order(self):
+        sim = self._sim()
+        q = SimQueue(sim, capacity=10)
+        received = []
+
+        def producer():
+            for i in range(5):
+                yield Put(q, i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield Get(q)
+                received.append(item)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run(1.0)
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_producer(self):
+        sim = self._sim()
+        q = SimQueue(sim, capacity=2)
+        produced = []
+
+        def producer():
+            for i in range(5):
+                yield Put(q, i)
+                produced.append(sim.now)
+
+        sim.spawn(producer())
+        sim.run(1.0)
+        # Only 2 items fit; the third put blocks forever (no consumer).
+        assert len(produced) == 2
+
+    def test_get_blocks_until_put(self):
+        sim = self._sim()
+        q = SimQueue(sim, capacity=2)
+        got = []
+
+        def consumer():
+            item = yield Get(q)
+            got.append((sim.now, item))
+
+        def producer():
+            yield Timeout(3.0)
+            yield Put(q, "late")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run(10.0)
+        assert got == [(3.0, "late")]
+
+    def test_close_wakes_getters_with_eos(self):
+        sim = self._sim()
+        q = SimQueue(sim, capacity=2)
+        got = []
+
+        def consumer():
+            item = yield Get(q)
+            got.append(item)
+
+        sim.spawn(consumer())
+        sim.schedule(1.0, q.close)
+        sim.run(5.0)
+        assert got == [EOS]
+
+    def test_closed_queue_drains_items_first(self):
+        sim = self._sim()
+        q = SimQueue(sim, capacity=5)
+        got = []
+
+        def producer():
+            yield Put(q, 1)
+            yield Put(q, 2)
+            q.close()
+
+        def consumer():
+            while True:
+                item = yield Get(q)
+                got.append(item)
+                if item is EOS:
+                    return
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run(1.0)
+        assert got == [1, 2, EOS]
+
+    def test_put_after_close_rejected(self):
+        sim = self._sim()
+        q = SimQueue(sim, capacity=1)
+        q.close()
+
+        def producer():
+            yield Put(q, 1)
+
+        sim.spawn(producer())
+        with pytest.raises(SimulationError, match="closed"):
+            sim.run(1.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SimQueue(self._sim(), capacity=0)
+
+    def test_mean_occupancy_tracks(self):
+        sim = self._sim()
+        q = SimQueue(sim, capacity=10)
+
+        def producer():
+            yield Put(q, 1)
+            yield Timeout(10.0)
+
+        sim.spawn(producer())
+        sim.run(10.0)
+        assert q.mean_occupancy() == pytest.approx(1.0, rel=0.05)
+
+
+class TestCoreScheduler:
+    def test_serial_on_one_core(self):
+        sim = Simulation()
+        sim.cores = CoreScheduler(sim, capacity=1)
+        done = []
+
+        def worker(tag):
+            yield Compute(1.0)
+            done.append((tag, sim.now))
+
+        sim.spawn(worker("a"))
+        sim.spawn(worker("b"))
+        sim.run(10.0)
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_parallel_on_two_cores(self):
+        sim = Simulation()
+        sim.cores = CoreScheduler(sim, capacity=2)
+        done = []
+
+        def worker(tag):
+            yield Compute(1.0)
+            done.append((tag, sim.now))
+
+        sim.spawn(worker("a"))
+        sim.spawn(worker("b"))
+        sim.run(10.0)
+        assert [t for _, t in done] == [1.0, 1.0]
+
+    def test_wide_request_waits_for_width(self):
+        sim = Simulation()
+        sim.cores = CoreScheduler(sim, capacity=2)
+        done = []
+
+        def narrow():
+            yield Compute(1.0, width=1.0)
+            done.append(("narrow", sim.now))
+
+        def wide():
+            yield Compute(1.0, width=2.0)
+            done.append(("wide", sim.now))
+
+        sim.spawn(narrow())
+        sim.spawn(wide())
+        sim.run(10.0)
+        # Wide must wait for the narrow job to release its core.
+        assert dict(done)["wide"] == pytest.approx(2.0)
+
+    def test_oversubscription_penalty_inflates(self):
+        sim = Simulation()
+        sim.cores = CoreScheduler(
+            sim, capacity=2, oversubscription_penalty=0.1, total_threads=6.0
+        )
+        # threads/capacity = 3 -> penalty = 1 + 0.1 * 2 = 1.2
+        assert sim.cores.penalty == pytest.approx(1.2)
+        done = []
+
+        def worker():
+            yield Compute(1.0)
+            done.append(sim.now)
+
+        sim.spawn(worker())
+        sim.run(10.0)
+        assert done == [pytest.approx(1.2)]
+
+    def test_no_penalty_when_undersubscribed(self):
+        sim = Simulation()
+        sim.cores = CoreScheduler(
+            sim, capacity=8, oversubscription_penalty=0.1, total_threads=4.0
+        )
+        assert sim.cores.penalty == 1.0
+
+    def test_utilization(self):
+        sim = Simulation()
+        sim.cores = CoreScheduler(sim, capacity=2)
+
+        def worker():
+            yield Compute(5.0)
+
+        sim.spawn(worker())
+        sim.run(10.0)
+        # 5 core-seconds on 2 cores over 10 seconds = 25%.
+        assert sim.cores.utilization(10.0) == pytest.approx(0.25)
+
+    def test_zero_compute_is_instant(self):
+        sim = Simulation()
+        sim.cores = CoreScheduler(sim, capacity=1)
+        done = []
+
+        def worker():
+            yield Compute(0.0)
+            done.append(sim.now)
+
+        sim.spawn(worker())
+        sim.run(1.0)
+        assert done == [0.0]
+
+
+class TestFairShareDisk:
+    def test_single_read_duration(self):
+        sim = Simulation()
+        sim.disk = FairShareDisk(sim, token_bucket(100.0))
+        done = []
+
+        def reader():
+            from repro.runtime.engine import Read
+
+            yield Read(200.0)
+            done.append(sim.now)
+
+        sim.spawn(reader())
+        sim.run(10.0)
+        assert done == [pytest.approx(2.0)]
+
+    def test_fair_sharing_halves_rate(self):
+        from repro.runtime.engine import Read
+
+        sim = Simulation()
+        sim.disk = FairShareDisk(sim, token_bucket(100.0))
+        done = []
+
+        def reader(tag):
+            yield Read(100.0)
+            done.append((tag, sim.now))
+
+        sim.spawn(reader("a"))
+        sim.spawn(reader("b"))
+        sim.run(10.0)
+        # Two concurrent 100-byte reads at 100 B/s total -> both at t=2.
+        assert [t for _, t in done] == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_parallelism_curve_scales_bandwidth(self):
+        from repro.runtime.engine import Read
+
+        spec = DiskSpec("d", curve=((1.0, 100.0), (2.0, 200.0)))
+        sim = Simulation()
+        sim.disk = FairShareDisk(sim, spec)
+        done = []
+
+        def reader(tag):
+            yield Read(100.0)
+            done.append(sim.now)
+
+        sim.spawn(reader("a"))
+        sim.spawn(reader("b"))
+        sim.run(10.0)
+        # Two streams unlock 200 B/s aggregate -> 100 B/s each -> t=1.
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_read_latency_added(self):
+        from repro.runtime.engine import Read
+
+        spec = DiskSpec("d", curve=((1.0, 100.0),), read_latency=0.5)
+        sim = Simulation()
+        sim.disk = FairShareDisk(sim, spec)
+        done = []
+
+        def reader():
+            yield Read(100.0)
+            done.append(sim.now)
+
+        sim.spawn(reader())
+        sim.run(10.0)
+        assert done == [pytest.approx(1.5)]
+
+    def test_total_bytes_tracked(self):
+        from repro.runtime.engine import Read
+
+        sim = Simulation()
+        sim.disk = FairShareDisk(sim, token_bucket(1e6))
+
+        def reader():
+            yield Read(123.0)
+            yield Read(877.0)
+
+        sim.spawn(reader())
+        sim.run(10.0)
+        assert sim.disk.total_bytes == pytest.approx(1000.0)
+
+    def test_zero_read_is_instant(self):
+        from repro.runtime.engine import Read
+
+        sim = Simulation()
+        sim.disk = FairShareDisk(sim, token_bucket(1.0))
+        done = []
+
+        def reader():
+            yield Read(0.0)
+            done.append(sim.now)
+
+        sim.spawn(reader())
+        sim.run(1.0)
+        assert done == [0.0]
+
+    def test_many_tiny_reads_terminate(self):
+        """Regression: float underflow must not livelock completions."""
+        from repro.runtime.engine import Read
+
+        sim = Simulation()
+        sim.disk = FairShareDisk(sim, token_bucket(1e9))
+        count = [0]
+
+        def reader():
+            for _ in range(200):
+                yield Read(0.1)
+            count[0] += 1
+
+        for _ in range(3):
+            sim.spawn(reader())
+        sim.run(10.0)
+        assert count[0] == 3

@@ -1,0 +1,125 @@
+"""Tests for the five MLPerf workload builders and the registry."""
+
+import math
+
+import pytest
+
+from repro.core.randomness import tainted_nodes
+from repro.graph.validate import validate_pipeline
+from repro.workloads import (
+    END_TO_END_WORKLOADS,
+    MICROBENCH_WORKLOADS,
+    build_gnmt,
+    build_rcnn,
+    build_resnet,
+    build_resnet_fused,
+    build_ssd,
+    build_transformer,
+    build_transformer_small,
+    get_workload,
+)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            build_resnet,
+            build_resnet_fused,
+            build_rcnn,
+            build_ssd,
+            build_transformer,
+            build_transformer_small,
+            build_gnmt,
+        ],
+    )
+    def test_pipelines_validate(self, builder):
+        validate_pipeline(builder())
+
+    def test_resnet_crop_taints_tail_only(self):
+        pipe = build_resnet()
+        tainted = tainted_nodes(pipe)
+        assert "map_crop" in tainted
+        assert "map_transpose" in tainted
+        assert "map_decode" not in tainted
+        assert "interleave_tfrecord" not in tainted
+
+    def test_resnet_fused_taints_from_decode(self):
+        """Figure 11: fusing decode+crop kills cacheability past decode."""
+        pipe = build_resnet_fused()
+        tainted = tainted_nodes(pipe)
+        assert "map_decode" in tainted
+        assert "interleave_tfrecord" not in tainted
+
+    def test_resnet_io_per_minibatch_matches_paper(self):
+        """§5.2: 128 x ~110-115 KB -> ~15 MB per minibatch."""
+        pipe = build_resnet()
+        cat = pipe.node("interleave_tfrecord").catalog
+        bpm = 128 * cat.mean_bytes_per_record
+        assert bpm == pytest.approx(15e6, rel=0.05)
+
+    def test_rcnn_heavy_udf_width(self):
+        pipe = build_rcnn()
+        udf = pipe.node("map_heavy").udf
+        assert udf.cost.internal_parallelism == pytest.approx(3.0)
+        # 0.5 core-seconds per image -> R = 0.5 mb/s/core at batch 4.
+        assert udf.cost.core_seconds * 4 == pytest.approx(1.5, rel=0.1)
+
+    def test_rcnn_only_source_side_cacheable(self):
+        pipe = build_rcnn()
+        tainted = tainted_nodes(pipe)
+        assert "map_heavy" in tainted
+        assert "map_cheap" in tainted
+        assert "map_parse" not in tainted
+
+    def test_ssd_filter_before_random_augment(self):
+        pipe = build_ssd()
+        tainted = tainted_nodes(pipe)
+        assert "filter_boxes" not in tainted
+        assert "map_crop" in tainted
+
+    def test_gnmt_has_shuffle_and_repeat(self):
+        pipe = build_gnmt()
+        assert pipe.node("shuffle_and_repeat").kind == "shuffle_and_repeat"
+        assert pipe.node("shuffle_and_repeat").sequential
+
+    def test_transformer_small_pack_sequential(self):
+        pipe = build_transformer_small()
+        assert pipe.node("map_pack").sequential
+
+    def test_parallelism_seed_applied(self):
+        pipe = build_resnet(parallelism=7)
+        assert pipe.node("map_decode").parallelism == 7
+        assert pipe.node("interleave_tfrecord").parallelism == 7
+
+    def test_no_prefetch_option(self):
+        pipe = build_resnet(prefetch=0)
+        assert "prefetch_root" not in pipe.nodes
+
+
+class TestRegistry:
+    def test_microbench_has_five_workloads(self):
+        assert set(MICROBENCH_WORKLOADS) == {
+            "resnet", "rcnn", "ssd", "transformer", "gnmt",
+        }
+
+    def test_end_to_end_matches_figure_10(self):
+        assert set(END_TO_END_WORKLOADS) == {
+            "resnet18", "resnet_linear", "resnet50", "ssd", "rcnn",
+            "transformer", "transformer_small", "gnmt",
+        }
+
+    def test_model_step_seconds(self):
+        wl = get_workload("transformer", end_to_end=True)
+        assert wl.model_step_seconds == pytest.approx(64 / 860.0)
+        micro = get_workload("transformer")
+        assert micro.model_step_seconds == 0.0
+
+    def test_build_with_scale(self):
+        wl = get_workload("resnet")
+        pipe = wl.build(scale=0.1)
+        assert pipe.node("interleave_tfrecord").catalog.num_files == 102
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("bert")
