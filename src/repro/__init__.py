@@ -14,6 +14,8 @@ Public API quick tour
 * :mod:`repro.baselines` — AUTOTUNE / HEURISTIC / naive / random tuners.
 * :mod:`repro.workloads` — the five MLPerf pipelines from the paper.
 * :mod:`repro.fleet` — the §3 fleet analysis.
+* :mod:`repro.service` — fleet-scale batch optimization
+  (``BatchOptimizer`` with a signature-keyed result cache).
 """
 
 __version__ = "0.1.0"

@@ -63,7 +63,13 @@ class LPSolution:
                 plan[name] = max(plan.get(name, 1), max(1, math.ceil(streams - 1e-9)))
         if allocate_remaining and self.bottleneck in plan:
             used = sum(plan.values())
-            leftover = int(self.cores - used)
+            # Sequential/non-tunable CPU nodes (shuffle, filter, ...) hold
+            # cores too (θ ≤ 1 each); ignoring them could grant the
+            # bottleneck more cores than the machine has.
+            seq_used = sum(
+                th for name, th in self.theta.items() if name not in tunables
+            )
+            leftover = int(math.floor(self.cores - used - seq_used + 1e-9))
             if leftover > 0:
                 plan[self.bottleneck] += leftover
         return plan

@@ -54,10 +54,31 @@ class OptimizationResult:
     cache: Optional[CacheDecision]
     decisions: List[str] = field(default_factory=list)
     predicted_throughput: float = math.nan
+    #: observed throughput of the *unoptimized* pipeline's first trace
+    baseline_throughput: float = math.nan
+
+    @property
+    def speedup(self) -> float:
+        """Observed optimized / baseline throughput (nan if unknown)."""
+        if not self.baseline_throughput > 0:
+            return math.nan
+        return self.model.observed_throughput / self.baseline_throughput
+
+    @property
+    def bottleneck(self) -> str:
+        """The LP's binding constraint, or ``"none"`` without an LP pass."""
+        return self.lp.bottleneck if self.lp is not None else "none"
 
 
 class Plumber:
     """Tracing + rewriting front-end bound to one machine.
+
+    A ``Plumber`` is re-entrant: it holds only immutable configuration,
+    and every :meth:`optimize` call builds its own simulation, model, and
+    (when not supplied) :class:`MemoryBudget`, so concurrent optimize
+    calls never share mutable state. The batch optimization service
+    (:mod:`repro.service`) runs optimize calls concurrently from worker
+    pools (one short-lived ``Plumber`` per job payload).
 
     Parameters
     ----------
@@ -126,6 +147,7 @@ class Plumber:
         lp: Optional[LPSolution] = None
         cache: Optional[CacheDecision] = None
         model = self.model(current)
+        baseline_throughput = model.observed_throughput
 
         for iteration in range(iterations):
             if "parallelism" in passes:
@@ -171,6 +193,7 @@ class Plumber:
             cache=cache,
             decisions=decisions,
             predicted_throughput=predicted,
+            baseline_throughput=baseline_throughput,
         )
 
     # ------------------------------------------------------------------

@@ -8,14 +8,32 @@ code: the ``Next``-latency CDF (Figure 3) and the CPU/memory-bandwidth
 utilization breakdown (Figure 4).
 """
 
-from repro.fleet.analysis import FleetSummary, latency_fractions, summarize
-from repro.fleet.generator import FleetConfig, JobSample, generate_fleet
+from repro.fleet.analysis import (
+    FleetSummary,
+    SpeedupStats,
+    bottleneck_histogram,
+    latency_fractions,
+    speedup_distribution,
+    summarize,
+)
+from repro.fleet.generator import (
+    FleetConfig,
+    FleetPipeline,
+    JobSample,
+    generate_fleet,
+    generate_pipeline_fleet,
+)
 
 __all__ = [
     "FleetConfig",
+    "FleetPipeline",
     "FleetSummary",
     "JobSample",
+    "SpeedupStats",
+    "bottleneck_histogram",
     "generate_fleet",
+    "generate_pipeline_fleet",
     "latency_fractions",
+    "speedup_distribution",
     "summarize",
 ]

@@ -10,8 +10,9 @@ The paper's headline fleet numbers:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -54,11 +55,17 @@ def latency_fractions(
     jobs: Sequence[JobSample],
     thresholds: Sequence[float] = LATENCY_THRESHOLDS,
 ) -> List[float]:
-    """Fraction of jobs whose mean Next latency exceeds each threshold."""
+    """Fraction of jobs at or above each latency threshold.
+
+    The comparison is inclusive (``>=``) so that a job sitting exactly on
+    a threshold belongs to the same side as :func:`summarize`'s
+    ``low <= x < high`` utilization bands — a job at exactly 100 ms is in
+    the ``>100ms`` band *and* counted by ``frac_over_100ms``.
+    """
     if not jobs:
         raise ValueError("no jobs to analyze")
     latencies = np.array([j.next_latency for j in jobs])
-    return [float(np.mean(latencies > t)) for t in thresholds]
+    return [float(np.mean(latencies >= t)) for t in thresholds]
 
 
 def latency_cdf(
@@ -101,3 +108,40 @@ def summarize(jobs: Sequence[JobSample]) -> FleetSummary:
         bands=tuple(bands),
         frac_input_bound=float(np.mean([j.input_bound for j in jobs])),
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet *optimization* aggregates (consumed by repro.service's report).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpeedupStats:
+    """Distribution summary of per-job optimization speedups."""
+
+    count: int
+    geomean: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def speedup_distribution(speedups: Iterable[float]) -> SpeedupStats:
+    """Summarize per-job speedups (non-finite entries are dropped)."""
+    values = np.array([s for s in speedups if np.isfinite(s)], dtype=float)
+    if values.size == 0:
+        return SpeedupStats(0, float("nan"), float("nan"),
+                            float("nan"), float("nan"))
+    return SpeedupStats(
+        count=int(values.size),
+        geomean=float(np.exp(np.mean(np.log(np.maximum(values, 1e-12))))),
+        minimum=float(values.min()),
+        median=float(np.median(values)),
+        maximum=float(values.max()),
+    )
+
+
+def bottleneck_histogram(bottlenecks: Iterable[str]) -> Dict[str, int]:
+    """Count how often each bottleneck label binds across a fleet,
+    most-common first — the batch service's Figure-4-style breakdown of
+    *why* jobs were slow."""
+    counts = Counter(bottlenecks)
+    return dict(counts.most_common())

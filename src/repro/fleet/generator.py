@@ -140,6 +140,74 @@ def _build_job_pipeline(rng: np.random.Generator, domain: str, config: str):
     return ds.build(f"fleet_{domain}_{config}", validate=False)
 
 
+@dataclass(frozen=True)
+class FleetPipeline:
+    """One named fleet job ready for the batch optimization service."""
+
+    name: str
+    pipeline: object            # repro.graph.datasets.Pipeline
+    machine: Machine
+    domain: str
+    config: str                 # tuned / partial / naive
+
+
+def generate_pipeline_fleet(
+    num_jobs: int = 20,
+    distinct: int = 6,
+    seed: int = 0,
+    cores: int = 16,
+    config: FleetConfig | None = None,
+) -> List[FleetPipeline]:
+    """Generate ``num_jobs`` named jobs stamped from ``distinct`` templates.
+
+    Unlike :func:`generate_fleet` (which *measures* jobs analytically),
+    this returns the pipelines themselves, bound to hosts, so they can be
+    driven through the trace→analyze→optimize loop by
+    :class:`repro.service.BatchOptimizer`. Production fleets contain many
+    structurally identical jobs (the same training program launched over
+    and over), so jobs cycle through a small pool of templates — that
+    redundancy is exactly what the service's signature-keyed cache
+    exploits.
+    """
+    if num_jobs < 1:
+        raise ValueError(f"num_jobs must be >= 1, got {num_jobs}")
+    if not 1 <= distinct <= num_jobs:
+        raise ValueError(
+            f"distinct must be in [1, num_jobs], got {distinct}"
+        )
+    config = config or FleetConfig()
+    rng = np.random.default_rng(seed)
+    templates = []
+    for _ in range(distinct):
+        domain = _choice(rng, config.domain_weights)
+        tuning = _choice(rng, config.config_weights)
+        disk = _DISK_FACTORIES[rng.integers(len(_DISK_FACTORIES))]()
+        machine = Machine(
+            name="fleet_host",
+            cores=cores,
+            core_speed=float(rng.uniform(0.6, 1.2)),
+            memory_bytes=64e9,
+            disk=disk,
+            iterator_overhead=float(rng.uniform(15e-6, 40e-6)),
+            tracer_overhead=0.0,
+        )
+        pipeline = _build_job_pipeline(rng, domain, tuning)
+        templates.append((domain, tuning, machine, pipeline))
+    jobs: List[FleetPipeline] = []
+    for i in range(num_jobs):
+        domain, tuning, machine, pipeline = templates[i % distinct]
+        jobs.append(
+            FleetPipeline(
+                name=f"job{i:03d}_{domain}_{tuning}",
+                pipeline=pipeline,
+                machine=machine,
+                domain=domain,
+                config=tuning,
+            )
+        )
+    return jobs
+
+
 def generate_fleet(config: FleetConfig | None = None) -> List[JobSample]:
     """Generate the synthetic job population and measure every job."""
     config = config or FleetConfig()

@@ -1,11 +1,13 @@
 """Element signatures: what kind of element each node emits, and its
-expected size.
+expected size — plus the *structural signature*, a content hash of the
+whole pipeline program used by the batch optimization service to key its
+result cache.
 
-This is the structural half of the byte-accounting recurrence (§A): the
-source's element size comes from the catalog, and every operator applies
-its declared size/count transformation. The tracer's *measured* byte
-ratios must agree with these declared signatures in steady state, which
-is one of the integration tests.
+The element half is the structural side of the byte-accounting
+recurrence (§A): the source's element size comes from the catalog, and
+every operator applies its declared size/count transformation. The
+tracer's *measured* byte ratios must agree with these declared
+signatures in steady state, which is one of the integration tests.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Dict
+
+from repro.util import canonical_hash
 
 from repro.graph.datasets import (
     BatchNode,
@@ -47,6 +51,24 @@ class ElementSpec:
     def total_bytes(self) -> float:
         """Expected materialized size of the full stream."""
         return self.avg_bytes * self.cardinality
+
+
+def structural_signature(pipeline: Pipeline) -> str:
+    """Stable content hash of the pipeline *program*.
+
+    Two pipelines have the same signature iff their serialized node lists
+    (names, kinds, wiring, parallelism, and attrs) are identical; the
+    pipeline's display name is excluded so that fleet jobs stamped from
+    one template collapse to a single signature. The hash is computed
+    over canonical JSON, so it is stable across processes and sessions —
+    the batch optimization service uses it to key its result cache and to
+    match results shipped back from worker processes.
+    """
+    from repro.graph.serialize import pipeline_to_dict
+
+    data = pipeline_to_dict(pipeline)
+    data.pop("name", None)
+    return canonical_hash(data)
 
 
 def infer_signatures(pipeline: Pipeline) -> Dict[str, ElementSpec]:

@@ -81,6 +81,40 @@ class Machine:
         """Scale a reference-core cost to this machine's cores."""
         return reference_cpu_seconds / self.core_speed
 
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (cross-process transport)."""
+        return {
+            "name": self.name,
+            "cores": self.cores,
+            "core_speed": self.core_speed,
+            "memory_bytes": self.memory_bytes,
+            "disk": self.disk.to_dict(),
+            "iterator_overhead": self.iterator_overhead,
+            "tracer_overhead": self.tracer_overhead,
+            "oversubscription_penalty": self.oversubscription_penalty,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Machine":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        data["disk"] = DiskSpec.from_dict(data["disk"])
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Stable hash of everything that affects optimization results.
+
+        Display names — the machine's and the attached disk's — are
+        excluded: two identically-specced hosts must share cache entries
+        in the batch optimization service.
+        """
+        from repro.util import canonical_hash
+
+        data = self.to_dict()
+        data.pop("name", None)
+        data["disk"].pop("name", None)
+        return canonical_hash(data)
+
 
 def setup_a() -> Machine:
     """Consumer AMD 2700X: 16 cores, 32 GiB (§5 'Setup A')."""

@@ -147,15 +147,24 @@ class Simulation:
     def run(self, until: float) -> float:
         """Run events until the clock reaches ``until`` or the event heap
         drains (e.g. a single-epoch pipeline finished early). Returns the
-        final clock value."""
-        while self._heap:
-            time, _, callback, args = self._heap[0]
+        final clock value.
+
+        The loop is the simulator's hottest path (batch optimization runs
+        millions of events per trace), so the heap helpers are bound to
+        locals and each entry is popped exactly once — an entry beyond
+        ``until`` is pushed back rather than peeked-then-popped.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = pop(heap)
+            time = entry[0]
             if time > until:
+                heapq.heappush(heap, entry)
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
             self.now = time
-            callback(*args)
+            entry[2](*entry[3])
         return self.now
 
     # ------------------------------------------------------------------
@@ -187,8 +196,11 @@ class Simulation:
 class SimQueue:
     """Bounded FIFO queue with blocking put/get and a close protocol.
 
-    Closing wakes all blocked getters with :data:`EOS`; once closed and
-    drained, every ``Get`` resumes immediately with :data:`EOS`.
+    Closing wakes all blocked getters with :data:`EOS`, and wakes blocked
+    *putters* by resuming their ``Put`` with :data:`EOS` (the pending item
+    is discarded — the stream has ended, so nothing will consume it); once
+    closed and drained, every ``Get`` resumes immediately with
+    :data:`EOS`.
     """
 
     def __init__(self, sim: Simulation, capacity: int, name: str = "queue") -> None:
@@ -201,40 +213,59 @@ class SimQueue:
         self._putters: Deque = deque()  # (proc, item)
         self._getters: Deque[Process] = deque()
         self.closed = False
-        # Telemetry for the prefetch planner: time-integrated occupancy.
+        # Telemetry for the prefetch planner and the batch service's
+        # queue report: time-integrated occupancy plus cheap counters.
         self._occ_integral = 0.0
         self._occ_last_t = sim.now
+        self._created_t = sim.now
+        self.total_puts = 0
+        self.total_gets = 0
+        self.peak_occupancy = 0
 
     # ------------------------------------------------------------------
     def _track(self) -> None:
         now = self.sim.now
-        self._occ_integral += len(self.items) * (now - self._occ_last_t)
+        last = self._occ_last_t
+        if now == last:  # bursts at one timestamp dominate; skip the math
+            return
+        self._occ_integral += len(self.items) * (now - last)
         self._occ_last_t = now
 
     def mean_occupancy(self) -> float:
-        """Time-averaged queue length so far."""
+        """Time-averaged queue length since the queue was created.
+
+        The occupancy integral is divided by *elapsed* time
+        (``now - created``), not the absolute clock — a queue created
+        mid-run would otherwise under-report occupancy to the prefetch
+        planner.
+        """
         self._track()
-        if self._occ_last_t <= 0:
+        elapsed = self._occ_last_t - self._created_t
+        if elapsed <= 0:
             return 0.0
-        return self._occ_integral / self._occ_last_t
+        return self._occ_integral / elapsed
 
     # ------------------------------------------------------------------
     def _put(self, proc: Process, item: Any) -> None:
         if self.closed:
             raise SimulationError(f"put on closed queue {self.name!r}")
         self._track()
+        self.total_puts += 1
         if self._getters:
             getter = self._getters.popleft()
             self.sim.schedule(0.0, getter.resume, item)
             self.sim.schedule(0.0, proc.resume, None)
         elif len(self.items) < self.capacity:
             self.items.append(item)
+            if len(self.items) > self.peak_occupancy:
+                self.peak_occupancy = len(self.items)
             self.sim.schedule(0.0, proc.resume, None)
         else:
             self._putters.append((proc, item))
 
     def _get(self, proc: Process) -> None:
         self._track()
+        self.total_gets += 1
         if self.items:
             item = self.items.popleft()
             if self._putters:
@@ -253,13 +284,24 @@ class SimQueue:
             self._getters.append(proc)
 
     def close(self) -> None:
-        """Mark the stream ended; wake blocked getters with EOS."""
+        """Mark the stream ended; wake blocked getters *and putters*.
+
+        Getters resume with :data:`EOS` as usual. A producer parked in
+        ``_putters`` when the queue closes must not be leaked: it is
+        resumed with :data:`EOS` (instead of the usual ``None``) so it can
+        observe the closure, and its pending item is discarded. A producer
+        that ignores the sentinel and puts again hits the explicit
+        put-after-close :class:`SimulationError` rather than hanging.
+        """
         if self.closed:
             return
         self.closed = True
         while self._getters:
             getter = self._getters.popleft()
             self.sim.schedule(0.0, getter.resume, EOS)
+        while self._putters:
+            putter, _pending = self._putters.popleft()
+            self.sim.schedule(0.0, putter.resume, EOS)
 
     def __len__(self) -> int:
         return len(self.items)
@@ -299,7 +341,10 @@ class CoreScheduler:
 
     def _track(self) -> None:
         now = self.sim.now
-        self._busy_integral += (self.capacity - self.free) * (now - self._busy_last_t)
+        last = self._busy_last_t
+        if now == last:
+            return
+        self._busy_integral += (self.capacity - self.free) * (now - last)
         self._busy_last_t = now
 
     def utilization(self, duration: float) -> float:

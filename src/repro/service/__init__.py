@@ -1,0 +1,22 @@
+"""Fleet-scale batch optimization service.
+
+``BatchOptimizer`` runs the trace→analyze→optimize loop for a fleet of
+named pipelines across a worker pool, deduplicating structurally
+identical jobs through a signature-keyed result cache and aggregating a
+:class:`FleetOptimizationReport` (per-job speedup, bottleneck histogram,
+cache hit rate).
+"""
+
+from repro.service.batch import (
+    BatchOptimizer,
+    FleetOptimizationReport,
+    JobResult,
+    OptimizationJob,
+)
+
+__all__ = [
+    "BatchOptimizer",
+    "FleetOptimizationReport",
+    "JobResult",
+    "OptimizationJob",
+]

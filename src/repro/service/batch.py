@@ -1,0 +1,383 @@
+"""Fleet-scale batch optimization service.
+
+The paper's fleet study (§3) analyzes tens of thousands of jobs, but
+``Plumber.optimize`` drives one pipeline at a time. This module scales
+the trace→analyze→optimize loop to a *fleet* of named pipelines:
+
+* a :class:`BatchOptimizer` fans jobs out across a
+  :mod:`concurrent.futures` worker pool (threads, processes, or inline),
+* a **signature-keyed result cache** collapses structurally identical
+  jobs — production fleets re-launch the same training program
+  constantly — so each distinct (pipeline, machine, optimizer config) is
+  optimized exactly once,
+* results travel between processes as serialized pipeline programs
+  (:mod:`repro.graph.serialize`: "all Plumber traces are also valid
+  programs"), keyed by :func:`repro.graph.signature.structural_signature`
+  and :meth:`repro.host.machine.Machine.fingerprint`,
+* a :class:`FleetOptimizationReport` aggregates per-job speedups, the
+  bottleneck histogram, and the cache hit rate, reusing the fleet
+  analysis helpers and the plain-text table renderer.
+
+The simulator is deterministic, so a worker-pool run is bit-identical to
+optimizing each job serially with the same :class:`Plumber` settings —
+tested, and the property that makes result caching sound.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.tables import format_table
+from repro.core.plumber import DEFAULT_PASSES, Plumber
+from repro.fleet.analysis import (
+    SpeedupStats,
+    bottleneck_histogram,
+    speedup_distribution,
+)
+from repro.graph.datasets import Pipeline
+from repro.graph.serialize import pipeline_from_json, pipeline_to_json
+from repro.graph.signature import structural_signature
+from repro.host.machine import Machine
+from repro.util import canonical_hash
+
+
+@dataclass(frozen=True)
+class OptimizationJob:
+    """One named unit of work for the batch service."""
+
+    name: str
+    pipeline: Pipeline
+    machine: Machine
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of optimizing one fleet job.
+
+    The rewritten pipeline is carried as its serialized program
+    (JSON text) — the transport format between worker processes — and
+    materialized on demand.
+    """
+
+    name: str
+    signature: str
+    cache_hit: bool
+    baseline_throughput: float
+    optimized_throughput: float
+    predicted_throughput: float
+    bottleneck: str
+    decisions: Tuple[str, ...]
+    pipeline_json: str
+
+    @property
+    def speedup(self) -> float:
+        """Observed optimized / baseline throughput."""
+        if not self.baseline_throughput > 0:
+            return math.nan
+        return self.optimized_throughput / self.baseline_throughput
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The rewritten pipeline, rebuilt from its serialized program.
+
+        On a cache hit ``pipeline_json`` is the cache representative's
+        program (possibly stamped from a different template name), so
+        the rebuilt pipeline is renamed after this job.
+        """
+        pipe = pipeline_from_json(self.pipeline_json)
+        pipe.name = self.name
+        return pipe
+
+
+@dataclass
+class FleetOptimizationReport:
+    """Aggregated outcome of one :meth:`BatchOptimizer.optimize_fleet`."""
+
+    jobs: List[JobResult]
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of jobs served from the signature cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def job(self, name: str) -> JobResult:
+        """Look up one job's result by name."""
+        for j in self.jobs:
+            if j.name == name:
+                return j
+        raise KeyError(f"no job named {name!r}")
+
+    def speedups(self) -> SpeedupStats:
+        """Distribution of per-job observed speedups."""
+        return speedup_distribution(j.speedup for j in self.jobs)
+
+    def bottlenecks(self) -> Dict[str, int]:
+        """Histogram of binding constraints across the fleet."""
+        return bottleneck_histogram(j.bottleneck for j in self.jobs)
+
+    def to_table(self) -> str:
+        """Per-job plain-text table (name, speedup, bottleneck, cache)."""
+        rows = [
+            (
+                j.name,
+                f"{j.baseline_throughput:.2f}",
+                f"{j.optimized_throughput:.2f}",
+                f"{j.speedup:.2f}x",
+                j.bottleneck,
+                "hit" if j.cache_hit else "miss",
+            )
+            for j in self.jobs
+        ]
+        return format_table(
+            ("job", "baseline mb/s", "optimized mb/s", "speedup",
+             "bottleneck", "cache"),
+            rows,
+            title=f"Fleet optimization — {len(self.jobs)} jobs, "
+                  f"{self.cache_hit_rate:.0%} cache hits",
+        )
+
+    def summary_table(self) -> str:
+        """Fleet-level aggregate table."""
+        stats = self.speedups()
+        rows = [
+            ("jobs", len(self.jobs)),
+            ("distinct optimizations", self.cache_misses),
+            ("cache hit rate", f"{self.cache_hit_rate:.0%}"),
+            ("speedup geomean", f"{stats.geomean:.2f}x"),
+            ("speedup median", f"{stats.median:.2f}x"),
+            ("speedup max", f"{stats.maximum:.2f}x"),
+        ]
+        rows.extend(
+            (f"bottleneck: {label}", count)
+            for label, count in self.bottlenecks().items()
+        )
+        return format_table(("metric", "value"), rows,
+                            title="Fleet optimization summary")
+
+
+# ----------------------------------------------------------------------
+# Worker entry point — module-level so process pools can pickle it.
+# ----------------------------------------------------------------------
+def _optimize_serialized(payload: dict) -> dict:
+    """Run one optimization from a JSON-compatible payload.
+
+    Both directions of the hop are serialized programs, so this function
+    can execute in another process (or, in principle, another host)
+    without sharing any object graph with the caller.
+    """
+    pipeline = pipeline_from_json(payload["pipeline"])
+    machine = Machine.from_dict(payload["machine"])
+    plumber = Plumber(machine, **payload["plumber"])
+    result = plumber.optimize(
+        pipeline,
+        passes=tuple(payload["passes"]),
+        iterations=payload["iterations"],
+    )
+    return {
+        "pipeline": pipeline_to_json(result.pipeline),
+        "decisions": list(result.decisions),
+        "predicted_throughput": result.predicted_throughput,
+        "baseline_throughput": result.baseline_throughput,
+        "optimized_throughput": result.model.observed_throughput,
+        "bottleneck": result.bottleneck,
+    }
+
+
+class BatchOptimizer:
+    """Optimize a fleet of named pipelines through a worker pool.
+
+    Parameters
+    ----------
+    machine:
+        Default host for jobs submitted without one.
+    executor:
+        ``"thread"`` (default), ``"process"``, or ``"serial"``. Results
+        are identical across all three — the simulator is deterministic.
+        The simulation is pure Python, so only ``"process"`` buys real
+        CPU parallelism; ``"thread"`` mostly overlaps with the GIL and
+        is the safe default because the signature cache, not the pool,
+        does the heavy lifting on fleets with duplicate structure.
+    max_workers:
+        Pool width (ignored for ``"serial"``).
+    passes / iterations / trace_duration / trace_warmup / granularity:
+        Forwarded to :class:`~repro.core.plumber.Plumber` — every job in
+        the fleet is optimized with the same settings, which is part of
+        the cache key.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+        passes: Sequence[str] = DEFAULT_PASSES,
+        iterations: int = 2,
+        trace_duration: float = 3.0,
+        trace_warmup: float = 0.5,
+        granularity: Optional[int] = None,
+    ) -> None:
+        if executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"executor must be serial/thread/process, got {executor!r}"
+            )
+        self.machine = machine
+        self.executor = executor
+        self.max_workers = max_workers
+        self.passes = tuple(passes)
+        self.iterations = iterations
+        self.plumber_config = {
+            "trace_duration": trace_duration,
+            "trace_warmup": trace_warmup,
+            "granularity": granularity,
+        }
+        #: persistent signature-keyed result cache (survives across
+        #: optimize_fleet calls on this instance)
+        self._cache: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    def _normalize(
+        self,
+        jobs: Union[Mapping[str, Pipeline], Sequence],
+    ) -> List[OptimizationJob]:
+        """Accept ``{name: pipeline}`` mappings, ``(name, pipeline[,
+        machine])`` tuples, or objects with name/pipeline/machine
+        attributes (e.g. :class:`repro.fleet.generator.FleetPipeline`)."""
+        normalized: List[OptimizationJob] = []
+        if isinstance(jobs, Mapping):
+            items = [(name, pipe, None) for name, pipe in jobs.items()]
+        else:
+            items = []
+            for entry in jobs:
+                if isinstance(entry, OptimizationJob):
+                    items.append((entry.name, entry.pipeline, entry.machine))
+                elif isinstance(entry, tuple):
+                    name, pipe = entry[0], entry[1]
+                    mach = entry[2] if len(entry) > 2 else None
+                    items.append((name, pipe, mach))
+                else:
+                    items.append((
+                        entry.name,
+                        entry.pipeline,
+                        getattr(entry, "machine", None),
+                    ))
+        seen: set = set()
+        for name, pipe, mach in items:
+            if name in seen:
+                raise ValueError(f"duplicate job name {name!r}")
+            seen.add(name)
+            machine = mach or self.machine
+            if machine is None:
+                raise ValueError(
+                    f"job {name!r} has no machine and the service has no "
+                    "default machine"
+                )
+            normalized.append(OptimizationJob(name, pipe, machine))
+        return normalized
+
+    def _cache_key(self, signature: str, machine: Machine) -> str:
+        return canonical_hash({
+            "signature": signature,
+            "machine": machine.fingerprint(),
+            "passes": list(self.passes),
+            "iterations": self.iterations,
+            "plumber": self.plumber_config,
+        })
+
+    def _make_pool(self) -> Optional[Executor]:
+        if self.executor == "thread":
+            return ThreadPoolExecutor(max_workers=self.max_workers)
+        if self.executor == "process":
+            return ProcessPoolExecutor(max_workers=self.max_workers)
+        return None
+
+    # ------------------------------------------------------------------
+    def optimize_fleet(
+        self,
+        jobs: Union[Mapping[str, Pipeline], Sequence],
+    ) -> FleetOptimizationReport:
+        """Optimize every job, deduplicating by structural signature.
+
+        Jobs whose (pipeline signature, machine fingerprint, optimizer
+        config) key was already optimized — in this call *or* any earlier
+        call on this instance — reuse the cached result and are reported
+        as cache hits. Distinct keys run concurrently on the worker pool;
+        per-job results are identical to serial ``Plumber.optimize``.
+        """
+        work = self._normalize(jobs)
+        keyed: List[Tuple[OptimizationJob, str, str]] = []
+        # Fleet jobs stamped from one template share the Pipeline object;
+        # hash each distinct object once, not once per job.
+        sig_by_id: Dict[int, str] = {}
+        for job in work:
+            sig = sig_by_id.get(id(job.pipeline))
+            if sig is None:
+                sig = structural_signature(job.pipeline)
+                sig_by_id[id(job.pipeline)] = sig
+            keyed.append((job, sig, self._cache_key(sig, job.machine)))
+
+        # First occurrence of each uncached key becomes a pool task.
+        pending: Dict[str, dict] = {}
+        for job, _sig, key in keyed:
+            if key in self._cache or key in pending:
+                continue
+            pending[key] = {
+                "pipeline": pipeline_to_json(job.pipeline),
+                "machine": job.machine.to_dict(),
+                "plumber": self.plumber_config,
+                "passes": list(self.passes),
+                "iterations": self.iterations,
+            }
+
+        if pending:
+            pool = self._make_pool()
+            if pool is None:
+                for key, payload in pending.items():
+                    self._cache[key] = _optimize_serialized(payload)
+            else:
+                with pool:
+                    futures = {
+                        key: pool.submit(_optimize_serialized, payload)
+                        for key, payload in pending.items()
+                    }
+                    for key, future in futures.items():
+                        self._cache[key] = future.result()
+
+        results: List[JobResult] = []
+        hits = misses = 0
+        fresh = set(pending)
+        for job, sig, key in keyed:
+            cached = self._cache[key]
+            is_hit = key not in fresh
+            if is_hit:
+                hits += 1
+            else:
+                misses += 1
+                fresh.discard(key)  # later jobs with this key are hits
+            results.append(
+                JobResult(
+                    name=job.name,
+                    signature=sig,
+                    cache_hit=is_hit,
+                    baseline_throughput=cached["baseline_throughput"],
+                    optimized_throughput=cached["optimized_throughput"],
+                    predicted_throughput=cached["predicted_throughput"],
+                    bottleneck=cached["bottleneck"],
+                    decisions=tuple(cached["decisions"]),
+                    pipeline_json=cached["pipeline"],
+                )
+            )
+        return FleetOptimizationReport(
+            jobs=results, cache_hits=hits, cache_misses=misses
+        )
+
+    def optimize_one(self, name: str, pipeline: Pipeline,
+                     machine: Optional[Machine] = None) -> JobResult:
+        """Optimize a single named pipeline through the same cache."""
+        job = [(name, pipeline, machine)] if machine else [(name, pipeline)]
+        return self.optimize_fleet(job).jobs[0]

@@ -1,0 +1,19 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_hash(data: object) -> str:
+    """SHA-256 of ``data`` rendered as canonical (sorted-key) JSON.
+
+    The single hashing convention behind every cache key in the library
+    — :func:`repro.graph.signature.structural_signature`,
+    :meth:`repro.host.machine.Machine.fingerprint`, and the batch
+    service's result-cache keys — so the three always canonicalize
+    identically.
+    """
+    payload = json.dumps(data, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

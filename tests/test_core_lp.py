@@ -125,3 +125,29 @@ class TestParallelismPlan:
         greedy = sol.parallelism_plan(model, allocate_remaining=True)
         assert greedy["m_heavy"] >= conservative["m_heavy"]
         assert sum(greedy.values()) <= test_machine.cores + len(greedy)
+
+    def test_leftover_accounts_for_sequential_theta(
+        self, small_catalog, test_machine
+    ):
+        """Regression: leftover-core handout must subtract θ consumed by
+        sequential (non-tunable) CPU nodes, or the bottleneck is granted
+        cores the machine doesn't have."""
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("heavy", cpu=1e-3), parallelism=1, name="m_heavy")
+            # Expensive sequential stage: its θ approaches a full core.
+            .shuffle(64, cpu_seconds_per_element=9e-4, name="shuf")
+            .batch(16, name="b")
+            .prefetch(4, name="pf")
+            .repeat(None, name="r")
+            .build("seq_heavy")
+        )
+        model = model_of(pipe, test_machine)
+        sol = solve_allocation(model)
+        plan = sol.parallelism_plan(model, allocate_remaining=True)
+        seq_theta = sum(
+            th for name, th in sol.theta.items()
+            if name not in {n.name for n in model.pipeline.tunables()}
+        )
+        assert seq_theta > 0.5  # the sequential stage really is busy
+        assert sum(plan.values()) + seq_theta <= sol.cores + 1e-6

@@ -75,3 +75,26 @@ class TestSummary:
     def test_empty_jobs_rejected(self):
         with pytest.raises(ValueError):
             latency_fractions([])
+
+    def test_threshold_boundary_consistent_with_bands(self):
+        """Regression: a job at exactly 100 ms lands in the >100ms band
+        (``low <= x < high``) and must also be counted by
+        ``frac_over_100ms`` — the fraction comparison is inclusive."""
+        from repro.fleet.generator import JobSample
+
+        def job_at(latency):
+            return JobSample(
+                domain="vision", config="naive", next_latency=latency,
+                cpu_utilization=0.1, membw_utilization=0.1,
+                pipeline_rate=1.0, model_rate=2.0, cores=16,
+            )
+
+        jobs = [job_at(100e-3), job_at(1e-6)]
+        summary = summarize(jobs)
+        assert summary.band(">100ms").jobs == 1
+        assert summary.frac_over_100ms == pytest.approx(0.5)
+        # Same boundary convention at every threshold.
+        f50, f1k, f100k = latency_fractions([job_at(50e-6), job_at(1e-3)])
+        assert f50 == pytest.approx(1.0)   # both >= 50us
+        assert f1k == pytest.approx(0.5)
+        assert f100k == pytest.approx(0.0)

@@ -96,3 +96,77 @@ class TestRoundTrip:
         )
         restored = pipeline_from_dict(pipeline_to_dict(pipe))
         assert restored.node("snr").kind == "shuffle_and_repeat"
+
+
+class TestRewrittenRoundTrip:
+    """Optimizer-rewritten pipelines must survive serialization — the
+    batch service ships rewritten programs back from worker processes."""
+
+    def base(self, catalog):
+        return (
+            from_tfrecords(catalog, parallelism=1, name="src")
+            .map(make_udf("decode", cpu=1e-3), parallelism=1, name="decode")
+            .batch(16, name="batch")
+            .repeat(None, name="rep")
+            .build("rewrite_me")
+        )
+
+    def test_set_parallelism_round_trip(self, small_catalog):
+        from repro.core.rewriter import set_parallelism
+
+        pipe = set_parallelism(self.base(small_catalog),
+                               {"src": 4, "decode": 8})
+        restored = pipeline_from_json(pipeline_to_json(pipe))
+        assert restored.node("src").parallelism == 4
+        assert restored.node("decode").parallelism == 8
+
+    def test_insert_prefetch_round_trip(self, small_catalog):
+        from repro.core.rewriter import insert_prefetch_after
+
+        pipe = insert_prefetch_after(self.base(small_catalog), "batch", 12,
+                                     name="pf_batch")
+        restored = pipeline_from_json(pipeline_to_json(pipe))
+        assert restored.node("pf_batch").kind == "prefetch"
+        assert restored.node("pf_batch").buffer_size == 12
+        assert restored.parent_of("batch").name == "pf_batch"
+
+    def test_insert_cache_round_trip(self, small_catalog):
+        from repro.core.rewriter import insert_cache_after
+
+        pipe = insert_cache_after(self.base(small_catalog), "decode")
+        restored = pipeline_from_json(pipeline_to_json(pipe))
+        assert restored.node("cache_decode").kind == "cache"
+        assert restored.parent_of("decode").name == "cache_decode"
+
+    def test_all_rewrites_stacked_round_trip(self, small_catalog):
+        """The full optimizer sequence, then a stable double round-trip."""
+        from repro.core.rewriter import (
+            insert_cache_after,
+            insert_prefetch_after,
+            set_parallelism,
+        )
+
+        pipe = self.base(small_catalog)
+        pipe = set_parallelism(pipe, {"src": 2, "decode": 6})
+        pipe = insert_prefetch_after(pipe, "batch", 8, name="pf0")
+        pipe = insert_cache_after(pipe, "decode")
+        once = pipeline_to_json(pipe)
+        restored = pipeline_from_json(once)
+        assert pipeline_to_json(restored) == once
+        assert [n.name for n in restored.topological_order()] == [
+            n.name for n in pipe.topological_order()
+        ]
+
+    def test_optimizer_output_round_trips(self, small_catalog, test_machine):
+        """End-to-end: a real Plumber.optimize result keeps its structure
+        and its structural signature across the serialized hop."""
+        from repro.core.plumber import Plumber
+        from repro.graph.signature import structural_signature
+
+        plumber = Plumber(test_machine, trace_duration=1.0, trace_warmup=0.25)
+        result = plumber.optimize(self.base(small_catalog), iterations=1)
+        text = pipeline_to_json(result.pipeline)
+        restored = pipeline_from_json(text)
+        assert structural_signature(restored) == structural_signature(
+            result.pipeline
+        )

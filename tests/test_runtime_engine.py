@@ -195,6 +195,63 @@ class TestSimQueue:
         sim.run(10.0)
         assert q.mean_occupancy() == pytest.approx(1.0, rel=0.05)
 
+    def test_mean_occupancy_of_queue_created_mid_run(self):
+        """Regression: the occupancy integral is divided by time since the
+        queue was *created*, not the absolute clock — a queue born at t=90
+        holding one item for 10s has mean occupancy 1, not 0.1."""
+        sim = self._sim()
+        sim.schedule(90.0, lambda: None)
+        sim.run(95.0)  # advance the clock before the queue exists
+        q = SimQueue(sim, capacity=10)
+
+        def producer():
+            yield Put(q, 1)
+            yield Timeout(10.0)
+
+        sim.spawn(producer())
+        sim.run(200.0)
+        assert q.mean_occupancy() == pytest.approx(1.0, rel=0.05)
+
+    def test_close_wakes_blocked_putter_with_eos(self):
+        """Regression: a producer parked in ``_putters`` at close() used to
+        be leaked forever; it must resume and observe EOS."""
+        sim = self._sim()
+        q = SimQueue(sim, capacity=1)
+        observed = []
+
+        def producer():
+            result = yield Put(q, "fits")
+            observed.append(result)
+            result = yield Put(q, "blocks")  # queue full -> parked
+            observed.append(result)
+
+        sim.spawn(producer())
+        sim.schedule(1.0, q.close)
+        sim.run(5.0)
+        assert observed == [None, EOS]
+        # The pending item was discarded, not enqueued after close.
+        assert list(q.items) == ["fits"]
+
+    def test_put_telemetry_counters(self):
+        sim = self._sim()
+        q = SimQueue(sim, capacity=10)
+
+        def producer():
+            for i in range(4):
+                yield Put(q, i)
+
+        def consumer():
+            yield Timeout(1.0)
+            for _ in range(2):
+                yield Get(q)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run(5.0)
+        assert q.total_puts == 4
+        assert q.total_gets == 2
+        assert q.peak_occupancy == 4
+
 
 class TestCoreScheduler:
     def test_serial_on_one_core(self):

@@ -1,0 +1,216 @@
+"""Tests for the fleet-scale batch optimization service."""
+
+import pytest
+
+from repro.core.plumber import Plumber
+from repro.fleet.generator import FleetConfig, generate_pipeline_fleet
+from repro.graph.builder import from_tfrecords
+from repro.graph.signature import structural_signature
+from repro.host.machine import Machine
+from repro.service import BatchOptimizer
+from tests.conftest import make_udf
+
+#: vision-domain jobs have low element rates, so their traces are
+#: cheap to simulate — the right mix for unit tests
+VISION_ONLY = FleetConfig(domain_weights={"vision": 1.0})
+
+
+def small_pipeline(catalog, parallelism=1, name="svc"):
+    return (
+        from_tfrecords(catalog, parallelism=parallelism, name="src")
+        .map(make_udf("op", cpu=1e-3), parallelism=parallelism, name="m")
+        .batch(8, name="b")
+        .prefetch(4, name="pf")
+        .repeat(None, name="r")
+        .build(name)
+    )
+
+
+class TestStructuralSignature:
+    def test_identical_structure_same_signature(self, small_catalog):
+        a = small_pipeline(small_catalog, name="a")
+        b = small_pipeline(small_catalog, name="b")
+        assert structural_signature(a) == structural_signature(b)
+
+    def test_parallelism_changes_signature(self, small_catalog):
+        a = small_pipeline(small_catalog, parallelism=1)
+        b = small_pipeline(small_catalog, parallelism=4)
+        assert structural_signature(a) != structural_signature(b)
+
+    def test_stable_across_round_trip(self, small_catalog):
+        from repro.graph.serialize import pipeline_from_json, pipeline_to_json
+
+        pipe = small_pipeline(small_catalog)
+        restored = pipeline_from_json(pipeline_to_json(pipe))
+        assert structural_signature(restored) == structural_signature(pipe)
+
+
+class TestMachineTransport:
+    def test_round_trip(self, test_machine):
+        restored = Machine.from_dict(test_machine.to_dict())
+        assert restored == test_machine
+
+    def test_fingerprint_ignores_name(self, test_machine):
+        from dataclasses import replace
+
+        renamed = replace(test_machine, name="other")
+        assert renamed.fingerprint() == test_machine.fingerprint()
+        recored = replace(test_machine, cores=test_machine.cores + 1)
+        assert recored.fingerprint() != test_machine.fingerprint()
+
+    def test_fingerprint_ignores_disk_name(self, test_machine):
+        """Identically-specced hosts whose disks differ only in display
+        name must share cache entries."""
+        from repro.host.disk import token_bucket
+
+        a = test_machine.with_disk(token_bucket(2e9, name="disk-a"))
+        b = test_machine.with_disk(token_bucket(2e9, name="disk-b"))
+        assert a.fingerprint() == b.fingerprint()
+        slower = test_machine.with_disk(token_bucket(1e9, name="disk-a"))
+        assert slower.fingerprint() != a.fingerprint()
+
+
+class TestBatchOptimizer:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return generate_pipeline_fleet(
+            num_jobs=6, distinct=2, seed=7, config=VISION_ONLY
+        )
+
+    @pytest.fixture(scope="class")
+    def report(self, fleet):
+        svc = BatchOptimizer(executor="serial", iterations=1,
+                             trace_duration=3.0, trace_warmup=0.5)
+        return svc.optimize_fleet(fleet)
+
+    def test_every_job_reported(self, fleet, report):
+        assert [j.name for j in report.jobs] == [j.name for j in fleet]
+
+    def test_cache_collapses_templates(self, report):
+        assert report.cache_misses == 2
+        assert report.cache_hits == 4
+        assert report.cache_hit_rate == pytest.approx(4 / 6)
+
+    def test_duplicate_jobs_share_results(self, fleet, report):
+        # jobs 0 and 2 are stamped from the same template
+        a, b = report.jobs[0], report.jobs[2]
+        assert a.signature == b.signature
+        assert not a.cache_hit and b.cache_hit
+        assert a.decisions == b.decisions
+        assert a.optimized_throughput == b.optimized_throughput
+        assert a.pipeline_json == b.pipeline_json
+
+    def test_matches_serial_plumber(self, fleet, report):
+        """Pool results are identical to serial Plumber.optimize."""
+        job = fleet[1]
+        plumber = Plumber(job.machine, trace_duration=3.0, trace_warmup=0.5)
+        serial = plumber.optimize(job.pipeline, iterations=1)
+        got = report.job(job.name)
+        assert got.decisions == tuple(serial.decisions)
+        assert got.optimized_throughput == pytest.approx(
+            serial.model.observed_throughput
+        )
+        assert got.baseline_throughput == pytest.approx(
+            serial.baseline_throughput
+        )
+
+    def test_rewritten_pipeline_is_usable(self, report):
+        pipe = report.jobs[0].pipeline
+        assert pipe.batch_size() >= 1
+        assert structural_signature(pipe)  # parses and hashes
+
+    def test_cache_hit_pipeline_carries_job_name(self, report):
+        """A cache-hit job's materialized pipeline is renamed after the
+        job, even though the serialized program came from the cache
+        representative."""
+        hit = next(j for j in report.jobs if j.cache_hit)
+        assert hit.pipeline.name == hit.name
+
+    def test_persistent_cache_across_calls(self, fleet):
+        svc = BatchOptimizer(executor="serial", iterations=1,
+                             trace_duration=3.0, trace_warmup=0.5)
+        first = svc.optimize_fleet(fleet[:2])
+        second = svc.optimize_fleet(fleet[:2])
+        assert first.cache_misses == 2
+        assert second.cache_misses == 0
+        assert second.cache_hits == 2
+
+    def test_thread_pool_matches_serial(self, fleet, report):
+        svc = BatchOptimizer(executor="thread", max_workers=2, iterations=1,
+                             trace_duration=3.0, trace_warmup=0.5)
+        threaded = svc.optimize_fleet(fleet)
+        for a, b in zip(threaded.jobs, report.jobs):
+            assert a.decisions == b.decisions
+            assert a.optimized_throughput == b.optimized_throughput
+
+    def test_report_tables_render(self, report):
+        table = report.to_table()
+        assert "cache" in table and report.jobs[0].name in table
+        summary = report.summary_table()
+        assert "cache hit rate" in summary
+
+    def test_bottleneck_histogram_counts_jobs(self, report):
+        hist = report.bottlenecks()
+        assert sum(hist.values()) == len(report.jobs)
+
+    def test_speedup_stats(self, report):
+        stats = report.speedups()
+        assert stats.count > 0
+        assert stats.maximum >= stats.median >= stats.minimum
+
+    def test_job_lookup_raises_for_unknown(self, report):
+        with pytest.raises(KeyError):
+            report.job("nope")
+
+
+class TestJobInputs:
+    def test_mapping_input_uses_default_machine(self, small_catalog,
+                                                test_machine):
+        svc = BatchOptimizer(machine=test_machine, executor="serial",
+                             iterations=1, trace_duration=1.0,
+                             trace_warmup=0.25)
+        report = svc.optimize_fleet({
+            "one": small_pipeline(small_catalog, name="one"),
+            "two": small_pipeline(small_catalog, name="two"),
+        })
+        assert report.cache_misses == 1  # structurally identical
+        assert report.cache_hits == 1
+
+    def test_missing_machine_rejected(self, small_catalog):
+        svc = BatchOptimizer(executor="serial")
+        with pytest.raises(ValueError, match="no machine"):
+            svc.optimize_fleet({"solo": small_pipeline(small_catalog)})
+
+    def test_duplicate_names_rejected(self, small_catalog, test_machine):
+        svc = BatchOptimizer(machine=test_machine, executor="serial")
+        pipe = small_pipeline(small_catalog)
+        with pytest.raises(ValueError, match="duplicate"):
+            svc.optimize_fleet([("same", pipe), ("same", pipe)])
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            BatchOptimizer(executor="rocket")
+
+    def test_optimize_one(self, small_catalog, test_machine):
+        svc = BatchOptimizer(machine=test_machine, executor="serial",
+                             iterations=1, trace_duration=1.0,
+                             trace_warmup=0.25)
+        result = svc.optimize_one("solo", small_pipeline(small_catalog))
+        assert result.name == "solo"
+        assert not result.cache_hit
+
+
+class TestProcessPool:
+    def test_process_pool_matches_serial(self, small_catalog, test_machine):
+        """One tiny job through a real process pool: the serialized hop
+        (pipeline JSON out, rewritten program back) must be lossless."""
+        pipe = small_pipeline(small_catalog)
+        kwargs = dict(machine=test_machine, iterations=1,
+                      trace_duration=1.0, trace_warmup=0.25)
+        serial = BatchOptimizer(executor="serial", **kwargs)
+        procs = BatchOptimizer(executor="process", max_workers=1, **kwargs)
+        a = serial.optimize_fleet({"j": pipe}).jobs[0]
+        b = procs.optimize_fleet({"j": pipe}).jobs[0]
+        assert a.decisions == b.decisions
+        assert a.optimized_throughput == b.optimized_throughput
+        assert a.pipeline_json == b.pipeline_json
