@@ -16,6 +16,9 @@ from repro.host import setup_c
 from repro.runtime.executor import ModelConsumer, run_pipeline
 from repro.workloads import get_workload
 
+#: simulation-heavy module: excluded from the fast-path CI job
+pytestmark = pytest.mark.slow_sim
+
 SCALE = 0.004
 
 

@@ -17,6 +17,9 @@ from repro.host import setup_a, setup_b
 from repro.runtime.executor import run_pipeline
 from repro.workloads import MICROBENCH_WORKLOADS, get_workload
 
+#: simulation-heavy module: excluded from the fast-path CI job
+pytestmark = pytest.mark.slow_sim
+
 SCALES = {"resnet": 0.1, "rcnn": 0.25, "ssd": 0.25,
           "transformer": 0.02, "gnmt": 0.02}
 

@@ -14,6 +14,9 @@ from repro.baselines.naive import naive_config
 from repro.host import setup_a, setup_b
 from repro.workloads import get_workload
 
+#: simulation-heavy module: excluded from the fast-path CI job
+pytestmark = pytest.mark.slow_sim
+
 STEPS = 30
 SCALE = 0.05
 

@@ -17,6 +17,9 @@ from repro.core.plumber import Plumber
 from repro.host import setup_a
 from repro.workloads import get_workload
 
+#: simulation-heavy module: excluded from the fast-path CI job
+pytestmark = pytest.mark.slow_sim
+
 STEPS = 8
 SCALE = 0.02
 

@@ -15,6 +15,9 @@ from repro.analysis.tables import format_table
 from repro.host import setup_c
 from repro.workloads import END_TO_END_WORKLOADS, get_workload
 
+#: simulation-heavy module: excluded from the fast-path CI job
+pytestmark = pytest.mark.slow_sim
+
 WORKLOADS = list(END_TO_END_WORKLOADS)
 
 PAPER_RELATIVE = {

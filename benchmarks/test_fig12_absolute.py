@@ -15,6 +15,9 @@ from repro.analysis.tables import format_table
 from repro.host import setup_c
 from repro.workloads import get_workload
 
+#: simulation-heavy module: excluded from the fast-path CI job
+pytestmark = pytest.mark.slow_sim
+
 PAPER_ABSOLUTE = {
     "resnet18": (325, 9365, 10306, 12740),
     "resnet_linear": (309, 9230, 9600, 14728),

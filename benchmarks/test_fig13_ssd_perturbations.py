@@ -17,6 +17,9 @@ from repro.core.rewriter import set_parallelism
 from repro.host import setup_a
 from repro.workloads import get_workload
 
+#: simulation-heavy module: excluded from the fast-path CI job
+pytestmark = pytest.mark.slow_sim
+
 STEPS = 10
 SCALE = 0.25
 

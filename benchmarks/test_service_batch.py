@@ -23,6 +23,9 @@ from repro.fleet.analysis import speedup_distribution
 from repro.fleet.generator import FleetConfig, generate_pipeline_fleet
 from repro.service import BatchOptimizer
 
+#: simulation-heavy module: excluded from the fast-path CI job
+pytestmark = pytest.mark.slow_sim
+
 NUM_JOBS = 24
 DISTINCT = 6
 SEED = 7

@@ -111,15 +111,7 @@ def predict_throughput(
     overhead = machine.iterator_overhead + machine.tracer_overhead
 
     # Nodes upstream of a cache have no steady-state cost.
-    free_nodes: set = set()
-    if cached:
-        for node in pipeline.topological_order():
-            if isinstance(node, CacheNode):
-                stack = list(node.inputs)
-                while stack:
-                    child = stack.pop()
-                    free_nodes.add(child.name)
-                    stack.extend(child.inputs)
+    free_nodes: set = pipeline.below_cache_names() if cached else set()
 
     stage_caps: Dict[str, float] = {}
     cpu_demand = 0.0

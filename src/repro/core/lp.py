@@ -205,18 +205,12 @@ def solve_allocation(
 
 
 def _cached_subtree(pipeline) -> set:
-    """Names of nodes strictly below any cache node (steady-state free)."""
-    from repro.graph.datasets import CacheNode
+    """Names of nodes strictly below any cache node (steady-state free).
 
-    names: set = set()
-    for node in pipeline.iter_nodes():
-        if isinstance(node, CacheNode):
-            stack = list(node.inputs)
-            while stack:
-                child = stack.pop()
-                names.add(child.name)
-                stack.extend(child.inputs)
-    return names
+    Thin seam over :meth:`Pipeline.below_cache_names` — kept as a module
+    function so the cache-semantics ablation can stub it out.
+    """
+    return pipeline.below_cache_names()
 
 
 def _binding_constraint(

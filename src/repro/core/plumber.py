@@ -38,7 +38,8 @@ from repro.core.trace import PipelineTrace
 from repro.graph.datasets import Pipeline
 from repro.host.machine import Machine
 from repro.host.memory import MemoryBudget
-from repro.runtime.executor import run_pipeline
+from repro.runtime.backends import BackendSpec, resolve_backend
+from repro.runtime.executor import RunConfig
 
 #: default optimization passes, in order
 DEFAULT_PASSES = ("parallelism", "prefetch", "cache")
@@ -88,6 +89,17 @@ class Plumber:
         Virtual seconds of tracing per iteration (the paper uses ~1
         minute of wallclock; in simulation a couple of virtual seconds
         reaches steady state).
+    backend:
+        Trace acquisition backend: ``"simulate"`` (default, the
+        discrete-event tracer), ``"analytic"`` (closed-form fast path),
+        or any :class:`~repro.runtime.backends.TraceBackend` object.
+    event_budget:
+        Cap on simulation events per trace when ``granularity`` is
+        unset; the granularity auto-tuner coarsens chunks until the
+        estimated event count fits. Both backends honour it — the
+        analytic backend uses the resulting granularity for its I/O
+        amortization and fill-latency terms, so the two backends model
+        the same configuration.
     """
 
     def __init__(
@@ -96,25 +108,35 @@ class Plumber:
         trace_duration: float = 3.0,
         trace_warmup: float = 0.5,
         granularity: Optional[int] = None,
+        backend: BackendSpec = "simulate",
+        event_budget: Optional[int] = None,
     ) -> None:
         self.machine = machine
         self.trace_duration = trace_duration
         self.trace_warmup = trace_warmup
         self.granularity = granularity
+        self.backend = resolve_backend(backend)
+        self.event_budget = event_budget
 
     # ------------------------------------------------------------------
     def trace(self, pipeline: Pipeline, **overrides) -> PipelineTrace:
-        """Run the pipeline with tracing enabled and collect a trace."""
-        result = run_pipeline(
-            pipeline,
-            self.machine,
+        """Collect a trace of the pipeline through the trace backend.
+
+        ``backend=None`` (or omitted) inherits the instance's backend,
+        matching the per-job override convention in the batch service.
+        """
+        backend = resolve_backend(
+            overrides.pop("backend", None) or self.backend
+        )
+        config = RunConfig(
             duration=overrides.pop("duration", self.trace_duration),
             warmup=overrides.pop("warmup", self.trace_warmup),
             granularity=overrides.pop("granularity", self.granularity),
+            event_budget=overrides.pop("event_budget", self.event_budget),
             trace=True,
             **overrides,
         )
-        return PipelineTrace.from_run(result)
+        return backend.trace(pipeline, self.machine, config)
 
     def analyze(self, trace: PipelineTrace) -> PipelineModel:
         """Derive the operational model from a trace."""

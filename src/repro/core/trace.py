@@ -67,7 +67,14 @@ class HostInfo:
 
 @dataclass
 class PipelineTrace:
-    """One tracing session's output."""
+    """One tracing session's output.
+
+    ``backend`` names the acquisition method ("simulate" for the
+    discrete-event simulator, "analytic" for the closed-form fast path,
+    "inprocess" for real execution) and is part of a trace's identity:
+    two traces of the same program acquired through different backends
+    are different artifacts and must not share cache entries downstream.
+    """
 
     program: dict                     # serialized pipeline
     stats: Dict[str, NodeStats]       # measurement-window counters
@@ -75,6 +82,7 @@ class PipelineTrace:
     measured_seconds: float
     root_throughput: float            # observed minibatches/second
     cpu_utilization: float = 0.0
+    backend: str = "simulate"         # how the trace was acquired
 
     @classmethod
     def from_run(cls, result: RunResult) -> "PipelineTrace":
@@ -86,6 +94,7 @@ class PipelineTrace:
             measured_seconds=result.measured_seconds,
             root_throughput=result.throughput,
             cpu_utilization=result.cpu_utilization,
+            backend="simulate",
         )
 
     def pipeline(self) -> Pipeline:
@@ -103,6 +112,7 @@ class PipelineTrace:
                 "measured_seconds": self.measured_seconds,
                 "root_throughput": self.root_throughput,
                 "cpu_utilization": self.cpu_utilization,
+                "backend": self.backend,
             }
         )
 
@@ -119,4 +129,5 @@ class PipelineTrace:
             measured_seconds=data["measured_seconds"],
             root_throughput=data["root_throughput"],
             cpu_utilization=data.get("cpu_utilization", 0.0),
+            backend=data.get("backend", "simulate"),
         )

@@ -79,6 +79,13 @@ class FleetConfig:
     #: than even a tuned pipeline (the job is never input-bound).
     accel_speed_low: float = 0.03
     accel_speed_high: float = 2.5
+    #: trace acquisition overrides stamped onto generated fleet jobs
+    #: (``None`` = inherit the batch service's defaults): trace backend
+    #: name, chunk granularity, and per-domain granularity overrides —
+    #: the knob that makes µs-cost NLP jobs cheap to simulate.
+    trace_backend: str | None = None
+    trace_granularity: int | None = None
+    domain_granularity: Dict[str, int] = field(default_factory=dict)
 
 
 _DOMAIN_PARAMS = {
@@ -142,13 +149,20 @@ def _build_job_pipeline(rng: np.random.Generator, domain: str, config: str):
 
 @dataclass(frozen=True)
 class FleetPipeline:
-    """One named fleet job ready for the batch optimization service."""
+    """One named fleet job ready for the batch optimization service.
+
+    ``granularity`` and ``backend`` are per-job trace overrides picked
+    up by :class:`repro.service.BatchOptimizer` (``None`` = inherit the
+    service defaults).
+    """
 
     name: str
     pipeline: object            # repro.graph.datasets.Pipeline
     machine: Machine
     domain: str
     config: str                 # tuned / partial / naive
+    granularity: int | None = None
+    backend: str | None = None
 
 
 def generate_pipeline_fleet(
@@ -196,6 +210,9 @@ def generate_pipeline_fleet(
     jobs: List[FleetPipeline] = []
     for i in range(num_jobs):
         domain, tuning, machine, pipeline = templates[i % distinct]
+        granularity = config.domain_granularity.get(
+            domain, config.trace_granularity
+        )
         jobs.append(
             FleetPipeline(
                 name=f"job{i:03d}_{domain}_{tuning}",
@@ -203,6 +220,8 @@ def generate_pipeline_fleet(
                 machine=machine,
                 domain=domain,
                 config=tuning,
+                granularity=granularity,
+                backend=config.trace_backend,
             )
         )
     return jobs

@@ -549,6 +549,22 @@ class Pipeline:
                 size *= node.batch_size
         return size
 
+    def below_cache_names(self) -> set:
+        """Names of nodes strictly below any :class:`CacheNode` — the
+        subtree with no steady-state cost once the cache is populated
+        (the paper's post-first-epoch regime). Shared by the LP, the
+        steady-state model, and the analytic trace backend so the three
+        never disagree on which nodes are free."""
+        names: set = set()
+        for node in self.iter_nodes():
+            if isinstance(node, CacheNode):
+                stack = list(node.inputs)
+                while stack:
+                    child = stack.pop()
+                    names.add(child.name)
+                    stack.extend(child.inputs)
+        return names
+
     def clone(self) -> "Pipeline":
         """Deep-copy the node structure (UDFs/catalogs shared)."""
         mapping: Dict[int, DatasetNode] = {}

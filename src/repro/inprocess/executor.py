@@ -309,4 +309,5 @@ def trace_real_run(
         host=HostInfo.from_machine(machine),
         measured_seconds=elapsed,
         root_throughput=count / elapsed,
+        backend="inprocess",
     )

@@ -9,17 +9,32 @@ CPU-time, bytes — "less than 144 bytes per Dataset").
 
 from repro.runtime.engine import Compute, Get, Processes, Put, Read, Simulation, Timeout
 from repro.runtime.executor import (
+    DEFAULT_EVENT_BUDGET,
     BenchmarkConsumer,
     ModelConsumer,
     RunConfig,
     RunResult,
+    auto_granularity,
     run_pipeline,
 )
 from repro.runtime.stats import NodeStats, StatsBoard
 
+# Backends import core.trace (which imports the executor above), so they
+# must come after the executor to keep package initialization acyclic.
+from repro.runtime.analytic import analytic_trace
+from repro.runtime.backends import (
+    AnalyticBackend,
+    SimulateBackend,
+    TraceBackend,
+    available_backends,
+    resolve_backend,
+)
+
 __all__ = [
+    "AnalyticBackend",
     "BenchmarkConsumer",
     "Compute",
+    "DEFAULT_EVENT_BUDGET",
     "Get",
     "ModelConsumer",
     "NodeStats",
@@ -28,8 +43,14 @@ __all__ = [
     "Read",
     "RunConfig",
     "RunResult",
+    "SimulateBackend",
     "Simulation",
     "StatsBoard",
     "Timeout",
+    "TraceBackend",
+    "analytic_trace",
+    "auto_granularity",
+    "available_backends",
+    "resolve_backend",
     "run_pipeline",
 ]

@@ -1,0 +1,436 @@
+"""Analytic fast-path trace backend.
+
+Plumber's whole premise (§4.1) is that a trace is nothing but per-node
+counters plus the serialized program — the optimizer never looks at an
+individual event. This module produces that artifact *without running
+the discrete-event simulator*: every counter the tracer would record is
+computed in closed form from structural ratios, UDF cost models, the
+disk bandwidth curve, and the same operational-analysis rate math the
+fleet study uses (:mod:`repro.analysis.steady_state`).
+
+The steady-state equilibrium is the minimum of
+
+* per-stage capacities ``p_i / (V_i x worker-occupancy per element)``
+  (occupancy = framework overhead + penalty-inflated compute + storage
+  wait, exactly what one simulated worker pays per element),
+* the aggregate CPU bound ``cores / Σ V_i x core-seconds_i``,
+* the disk bound at the sources' stream parallelism, and
+* the consumer's own step rate.
+
+Two transients are corrected explicitly rather than simulated away:
+
+* **pipeline fill** — the first element must traverse every stage, so
+  production starts after a fill latency (one chunk's service time per
+  stage, summed). Deep, slow pipelines therefore do not need long
+  warmups to yield non-degenerate traces; the correction is exact where
+  the simulator needs ``trace_duration >= 3s`` to wash the transient
+  out.
+* **cache fill** — with a :class:`~repro.graph.datasets.CacheNode`
+  under a repeat, the run has two regimes: a populate epoch at the
+  rate of the *whole* chain, then serving at the rate of the cached
+  suffix. The trace window is split across both, so counters (and the
+  sub-cache nodes' one-epoch production) match what a simulated trace
+  of the same window observes.
+
+Wallclock cost is O(nodes) per trace, independent of element rate —
+this is what makes µs-cost NLP jobs and whole-fleet optimization cheap
+(ROADMAP items 2 and 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.trace import PipelineTrace
+
+from repro.graph.datasets import (
+    BatchNode,
+    CacheNode,
+    DatasetNode,
+    FilterNode,
+    InterleaveSourceNode,
+    MapNode,
+    Pipeline,
+    ShuffleNode,
+    TakeNode,
+)
+from repro.graph.serialize import pipeline_to_dict
+from repro.graph.validate import validate_pipeline
+from repro.host.machine import Machine
+from repro.runtime.executor import (
+    RunConfig,
+    _pipeline_epochs,
+    _total_threads,
+    resolve_granularity,
+)
+from repro.runtime.iterators import READ_BLOCK_BYTES
+from repro.runtime.stats import NodeStats
+
+#: clamp for structurally unbounded rates (a pipeline with zero cost and
+#: zero overhead); keeps synthesized counters finite
+_RATE_CLAMP = 1e12
+
+
+@dataclass
+class _NodeModel:
+    """Closed-form per-node quantities, all per *output* element."""
+
+    node: DatasetNode
+    visit: float                 # V_i: node completions per root element
+    workers: int                 # worker pool width p_i
+    wall_seconds: float          # worker occupancy (overhead+compute+io)
+    core_seconds: float          # what on_cpu would record
+    overhead_seconds: float      # what on_overhead would record
+    bytes_per_element: float     # b_i, propagated source -> root
+    io_seconds: float = 0.0      # storage wait (sources only)
+    bytes_read: float = 0.0      # storage bytes (sources only)
+    below_cache: bool = False    # produces only during the fill epoch
+    serve_core_seconds: float = 0.0   # cache node: extra serve-side CPU
+    serve_wall_seconds: float = 0.0   # cache node: serve-side occupancy
+
+
+def _penalty_factor(machine: Machine, threads: float) -> float:
+    """Mirror of :class:`CoreScheduler`'s oversubscription inflation."""
+    slope = machine.oversubscription_penalty
+    if threads <= machine.cores or slope <= 0:
+        return 1.0
+    return 1.0 + slope * (threads / machine.cores - 1.0)
+
+
+def _build_node_models(
+    pipeline: Pipeline,
+    machine: Machine,
+    overhead: float,
+    granularity: int,
+) -> List[_NodeModel]:
+    """Per-node closed-form costs, mirroring the worker generators in
+    :mod:`repro.runtime.iterators` (same accounting, no events)."""
+    ratios = pipeline.visit_ratios()
+    below = pipeline.below_cache_names()
+    penalty = _penalty_factor(machine, _total_threads(pipeline))
+    speed = machine.core_speed
+
+    streams = sum(s.effective_parallelism for s in pipeline.sources())
+    if streams > 0:
+        per_stream_bw = machine.disk.bandwidth(streams) / streams
+    else:
+        per_stream_bw = math.inf
+
+    models: List[_NodeModel] = []
+    bytes_at: Dict[str, float] = {}
+    for node in pipeline.topological_order():
+        v = ratios[node.name]
+        workers = node.effective_parallelism
+        io = 0.0
+        read = 0.0
+        serve_core = 0.0
+        serve_wall = 0.0
+        if isinstance(node, InterleaveSourceNode):
+            bpr = node.catalog.mean_bytes_per_record
+            # Block-buffered reads: per-request latency is amortized over
+            # the larger of the chunk and the read-ahead block.
+            block = max(granularity * bpr, READ_BLOCK_BYTES)
+            io = bpr / per_stream_bw + machine.disk.read_latency * bpr / block
+            read = bpr
+            compute = node.read_cpu_seconds_per_record / speed * penalty
+            core = compute
+            ovh = overhead
+            b = bpr
+        elif isinstance(node, MapNode):
+            udf = node.udf
+            er = max(udf.examples_ratio, 1e-12)
+            compute_in = udf.cost.cpu_seconds / speed * penalty
+            compute = compute_in / er
+            core = compute_in * udf.cost.internal_parallelism / er
+            ovh = overhead / er
+            b = udf.output_size(bytes_at[node.inputs[0].name])
+        elif isinstance(node, FilterNode):
+            keep = max(node.keep_fraction, 1e-12)
+            compute_in = node.udf.cost.cpu_seconds / speed * penalty
+            compute = compute_in / keep
+            core = compute_in / keep
+            ovh = overhead / keep
+            b = bytes_at[node.inputs[0].name]
+        elif isinstance(node, BatchNode):
+            per_example = node.cpu_seconds_per_example / speed * penalty
+            compute = per_example * node.batch_size
+            core = compute
+            ovh = overhead  # paid per *output* element (one Next/batch)
+            b = bytes_at[node.inputs[0].name] * node.batch_size
+        elif isinstance(node, ShuffleNode):  # includes shuffle_and_repeat
+            compute = node.cpu_seconds_per_element / speed * penalty
+            core = compute
+            ovh = overhead
+            b = bytes_at[node.inputs[0].name]
+        elif isinstance(node, CacheNode):
+            # Populate pass forwards at overhead-only cost; serving adds
+            # the memory-copy read cost.
+            compute = 0.0
+            core = 0.0
+            ovh = overhead
+            serve_core = node.read_cpu_seconds_per_element / speed * penalty
+            serve_wall = ovh + serve_core
+            b = bytes_at[node.inputs[0].name]
+        else:  # repeat / prefetch / take: pure forwarding
+            compute = 0.0
+            core = 0.0
+            ovh = overhead
+            b = bytes_at[node.inputs[0].name]
+        bytes_at[node.name] = b
+        models.append(
+            _NodeModel(
+                node=node,
+                visit=v,
+                workers=workers,
+                wall_seconds=ovh + compute + io,
+                core_seconds=core,
+                overhead_seconds=ovh,
+                bytes_per_element=b,
+                io_seconds=io,
+                bytes_read=read,
+                below_cache=node.name in below,
+                serve_core_seconds=serve_core,
+                serve_wall_seconds=serve_wall,
+            )
+        )
+    return models
+
+
+def _equilibrium_rate(
+    models: List[_NodeModel],
+    machine: Machine,
+    consumer_step: float,
+    serving: bool,
+) -> float:
+    """Root throughput bound: min of stage, CPU, disk, consumer caps.
+
+    ``serving=True`` models the post-populate regime of a cached
+    pipeline: sub-cache nodes are free and the cache pays its serve-side
+    cost; ``serving=False`` is the whole-chain (fill or cache-free)
+    regime.
+    """
+    caps: List[float] = []
+    cpu_demand = 0.0
+    disk_bytes = 0.0
+    streams = 0
+    for m in models:
+        if serving and m.below_cache:
+            continue
+        wall = m.wall_seconds
+        core = m.core_seconds
+        if serving and isinstance(m.node, CacheNode):
+            wall = m.serve_wall_seconds
+            core = m.serve_core_seconds
+        if wall > 0 and m.visit > 0:
+            caps.append(m.workers / (m.visit * wall))
+        cpu_demand += m.visit * core
+        if isinstance(m.node, InterleaveSourceNode):
+            disk_bytes += m.visit * m.bytes_read
+            streams += m.workers
+    if cpu_demand > 0:
+        caps.append(machine.cores / cpu_demand)
+    if disk_bytes > 0 and streams > 0:
+        caps.append(machine.disk.bandwidth(streams) / disk_bytes)
+    if consumer_step > 0:
+        caps.append(1.0 / consumer_step)
+    rate = min(caps) if caps else math.inf
+    return min(rate, _RATE_CLAMP)
+
+
+def _fill_latency(models: List[_NodeModel], granularity: int) -> float:
+    """Time for the first chunk to traverse the pipeline (queue fill).
+
+    Chunk sizes follow the structural ratios (the chunk entering node i
+    carries ``granularity x V_i / V_src`` of its elements), so the
+    latency is the sum over stages of one chunk's single-worker service
+    time. This is the transient the simulator has to warm through; here
+    it is an explicit correction term.
+    """
+    v_src = max(
+        (m.visit for m in models if isinstance(m.node, InterleaveSourceNode)),
+        default=0.0,
+    )
+    if v_src <= 0:
+        return 0.0
+    latency = 0.0
+    for m in models:
+        chunk = granularity * m.visit / v_src
+        latency += chunk * m.wall_seconds
+    return latency
+
+
+def _epoch_root_elements(pipeline: Pipeline, models: List[_NodeModel]) -> float:
+    """Root elements produced by one full pass over the sources."""
+    ratios = {m.node.name: m.visit for m in models}
+    per_epoch = math.inf
+    for source in pipeline.sources():
+        records = sum(f.num_records for f in source.catalog.files)
+        v = ratios[source.name]
+        if v > 0:
+            per_epoch = min(per_epoch, records / v)
+    for m in models:
+        if isinstance(m.node, TakeNode) and m.visit > 0:
+            per_epoch = min(per_epoch, m.node.count / m.visit)
+    return per_epoch
+
+
+def analytic_trace(
+    pipeline: Pipeline,
+    machine: Machine,
+    config: Optional[RunConfig] = None,
+    **config_overrides,
+) -> "PipelineTrace":
+    """Produce a :class:`PipelineTrace` analytically (no simulation).
+
+    Accepts the same configuration surface as
+    :func:`repro.runtime.executor.run_pipeline`; the trace window
+    ``[warmup, duration]`` and the consumer model are honoured so that
+    analytic and simulated traces of the same run are comparable
+    artifacts.
+    """
+    # Imported here: repro.core.trace itself imports the runtime package,
+    # so a module-level import would be circular.
+    from repro.core.trace import HostInfo, PipelineTrace
+
+    if config is None:
+        config = RunConfig(**config_overrides)
+    elif config_overrides:
+        raise TypeError("pass either a RunConfig or keyword overrides, not both")
+    validate_pipeline(pipeline)
+
+    overhead = machine.iterator_overhead + (
+        machine.tracer_overhead if config.trace else 0.0
+    )
+    granularity = resolve_granularity(pipeline, machine, config)
+    models = _build_node_models(pipeline, machine, overhead, granularity)
+    consumer_step = config.consumer.step_seconds_per_element
+    epochs = config.epochs if config.epochs is not None else _pipeline_epochs(pipeline)
+
+    has_cache = any(isinstance(m.node, CacheNode) for m in models)
+    x_fill = _equilibrium_rate(models, machine, consumer_step, serving=False)
+    if has_cache and epochs > 1:
+        x_serve = _equilibrium_rate(models, machine, consumer_step, serving=True)
+    else:
+        x_serve = x_fill
+
+    per_epoch = _epoch_root_elements(pipeline, models)
+    total_root = epochs * per_epoch if math.isfinite(per_epoch) else math.inf
+    pipe_fill = _fill_latency(models, granularity)
+
+    # Phase boundaries on the virtual clock: nothing before ``pipe_fill``,
+    # the populate epoch (cache) or the whole stream at ``x_fill``, then
+    # serving at ``x_serve``. With a cache the populate pass spans one
+    # full epoch even when ``epochs == 1`` (the whole run *is* the fill
+    # regime — sub-cache nodes still do all the work once).
+    if has_cache:
+        if x_fill > 0 and math.isfinite(per_epoch):
+            fill_end = pipe_fill + per_epoch / x_fill
+        else:
+            fill_end = math.inf  # unbounded populate (no finite epoch)
+    else:
+        fill_end = pipe_fill  # no cache: single regime from fill onward
+
+    def _root_produced(t: float) -> float:
+        """Cumulative root elements by virtual time ``t``."""
+        made = x_fill * max(0.0, min(t, fill_end) - pipe_fill)
+        made += x_serve * max(0.0, t - max(fill_end, pipe_fill))
+        return min(made, total_root) if math.isfinite(total_root) else made
+
+    # End of the run: the configured duration, or stream exhaustion.
+    end = config.duration
+    if math.isfinite(total_root):
+        fill_part = min(total_root, x_fill * max(0.0, fill_end - pipe_fill))
+        drain = fill_end + (total_root - fill_part) / max(x_serve, 1e-12)
+        if math.isfinite(drain):
+            end = min(end, max(drain, pipe_fill))
+
+    warmup = config.warmup
+    root_total_end = _root_produced(end)
+    root_in_window = root_total_end - _root_produced(warmup)
+    if root_in_window > 0:
+        measured = max(end - warmup, 1e-12)
+    else:
+        # Drained before warmup ended (or produced nothing): mirror the
+        # simulator and measure the whole run.
+        measured = max(end, 1e-12)
+        root_in_window = root_total_end
+        warmup = 0.0
+
+    # Per-phase overlap with the measurement window, for counters whose
+    # production differs between populate and serve regimes.
+    fill_lo = min(max(warmup, pipe_fill), end)
+    fill_hi = min(max(fill_end, pipe_fill), end)
+    fill_overlap_root = x_fill * max(0.0, fill_hi - fill_lo)
+    serve_overlap_root = max(0.0, root_in_window - fill_overlap_root)
+
+    stats: Dict[str, NodeStats] = {}
+    produced_by_name: Dict[str, float] = {}
+    busy_core_seconds = 0.0
+    for m in models:
+        node = m.node
+        if m.below_cache:
+            produced = m.visit * fill_overlap_root
+            produced_total = m.visit * min(
+                x_fill * max(0.0, min(end, fill_end) - pipe_fill),
+                per_epoch if math.isfinite(per_epoch) else math.inf,
+            )
+        else:
+            produced = m.visit * root_in_window
+            produced_total = m.visit * root_total_end
+        core = m.core_seconds * produced
+        if isinstance(node, CacheNode):
+            core = (
+                m.core_seconds * m.visit * fill_overlap_root
+                + m.serve_core_seconds * m.visit * serve_overlap_root
+            )
+        st = NodeStats(
+            name=node.name,
+            kind=node.kind,
+            parallelism=node.effective_parallelism,
+            sequential=node.sequential,
+            udf_internal_parallelism=(
+                node.udf.cost.internal_parallelism if node.udf else 1.0
+            ),
+        )
+        st.elements_produced = produced
+        st.bytes_produced = produced * m.bytes_per_element
+        st.cpu_core_seconds = core
+        st.overhead_seconds = produced * m.overhead_seconds
+        st.io_seconds = produced * m.io_seconds
+        st.bytes_read = produced * m.bytes_read
+        if node.inputs:
+            st.elements_consumed = produced_by_name.get(node.inputs[0].name, 0.0)
+        else:
+            st.elements_consumed = produced
+        if isinstance(node, InterleaveSourceNode):
+            # File observations are cumulative over the whole run (the
+            # tracer's size estimator wants every file seen, §A); one
+            # "observation" is one mean-sized file, so the rescaled
+            # estimate recovers the catalog size.
+            catalog = node.catalog
+            mean_file = catalog.total_bytes / max(catalog.num_files, 1)
+            files = produced_total / max(catalog.records_per_file, 1e-12)
+            count = int(round(files)) if files > 0 else 0
+            if produced_total > 0:
+                count = max(count, 1)
+            st.files_seen_count = count
+            st.files_seen_bytes = count * mean_file
+        stats[node.name] = st
+        produced_by_name[node.name] = produced
+        busy_core_seconds += core
+
+    throughput = root_in_window / measured
+    cpu_utilization = busy_core_seconds / (machine.cores * measured)
+
+    return PipelineTrace(
+        program=pipeline_to_dict(pipeline),
+        stats=stats,
+        host=HostInfo.from_machine(machine),
+        measured_seconds=measured,
+        root_throughput=throughput,
+        cpu_utilization=min(1.0, cpu_utilization),
+        backend="analytic",
+    )

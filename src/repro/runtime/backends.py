@@ -1,0 +1,105 @@
+"""Pluggable trace backends.
+
+A *trace backend* turns ``(pipeline, machine, config)`` into a
+:class:`~repro.core.trace.PipelineTrace`. Everything downstream of a
+trace — :func:`repro.core.rates.build_model`, the LP, the planners, the
+batch service — is backend-agnostic, which is the point: the trace file
+format is the interface (§4.1), and how the counters were acquired is a
+quality/latency tradeoff the caller picks per job:
+
+* ``"simulate"`` — the discrete-event simulator
+  (:func:`repro.runtime.executor.run_pipeline`). Highest fidelity;
+  wallclock scales with the pipeline's element rate.
+* ``"analytic"`` — the closed-form steady-state model
+  (:func:`repro.runtime.analytic.analytic_trace`). O(nodes) per trace
+  regardless of element rate; exact for steady-state rate accounting,
+  approximate for queueing transients.
+
+``resolve_backend`` accepts a name or any object implementing the
+:class:`TraceBackend` protocol, so callers can inject custom backends
+(e.g. replaying recorded traces) without touching this registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Protocol, Union, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.trace import PipelineTrace
+
+from repro.graph.datasets import Pipeline
+from repro.host.machine import Machine
+from repro.runtime.analytic import analytic_trace
+from repro.runtime.executor import RunConfig, run_pipeline
+
+
+@runtime_checkable
+class TraceBackend(Protocol):
+    """Anything that can acquire a trace for ``(pipeline, machine)``."""
+
+    name: str
+
+    def trace(
+        self, pipeline: Pipeline, machine: Machine, config: RunConfig
+    ) -> PipelineTrace:
+        """Produce a trace for one run configuration."""
+        ...  # pragma: no cover - protocol body
+
+
+class SimulateBackend:
+    """Discrete-event simulation (the original tracer)."""
+
+    name = "simulate"
+
+    def trace(
+        self, pipeline: Pipeline, machine: Machine, config: RunConfig
+    ) -> PipelineTrace:
+        from repro.core.trace import PipelineTrace
+
+        result = run_pipeline(pipeline, machine, config)
+        return PipelineTrace.from_run(result)
+
+
+class AnalyticBackend:
+    """Closed-form steady-state counters (the fast path)."""
+
+    name = "analytic"
+
+    def trace(
+        self, pipeline: Pipeline, machine: Machine, config: RunConfig
+    ) -> PipelineTrace:
+        return analytic_trace(pipeline, machine, config)
+
+
+_BACKENDS: Dict[str, TraceBackend] = {
+    "simulate": SimulateBackend(),
+    "analytic": AnalyticBackend(),
+}
+
+#: the spec types ``resolve_backend`` accepts
+BackendSpec = Union[str, TraceBackend, None]
+
+
+def available_backends() -> tuple:
+    """Registered backend names."""
+    return tuple(sorted(_BACKENDS))
+
+
+def resolve_backend(spec: BackendSpec) -> TraceBackend:
+    """Turn a backend name (or backend object, or ``None``) into a
+    :class:`TraceBackend`. ``None`` means the default simulator."""
+    if spec is None:
+        return _BACKENDS["simulate"]
+    if isinstance(spec, str):
+        try:
+            return _BACKENDS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown trace backend {spec!r}; "
+                f"available: {list(available_backends())}"
+            ) from None
+    if isinstance(spec, TraceBackend):
+        return spec
+    raise TypeError(
+        f"backend must be a name or TraceBackend, got {type(spec).__name__}"
+    )

@@ -119,6 +119,8 @@ class Simulation:
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: List = []
+        #: same-timestamp resumes, drained FIFO without touching the heap
+        self._ready: Deque = deque()
         self._seq = 0
         self._handlers = {
             Timeout: self._handle_timeout,
@@ -132,9 +134,22 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
-        """Run ``callback(*args)`` after ``delay`` virtual seconds."""
+        """Run ``callback(*args)`` after ``delay`` virtual seconds.
+
+        Zero-delay events — the overwhelming majority (every queue
+        handoff and core grant resumes a process "now") — bypass the
+        heap entirely and join a FIFO ready list. Ordering stays
+        identical to the all-heap implementation: a heap entry due at
+        the current timestamp was necessarily pushed *before* the clock
+        reached it, so it precedes every ready entry created *at* the
+        timestamp, and the FIFO preserves insertion order among ready
+        entries themselves.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if delay == 0.0:
+            self._ready.append((callback, args))
+            return
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback, args))
 
@@ -150,20 +165,43 @@ class Simulation:
         final clock value.
 
         The loop is the simulator's hottest path (batch optimization runs
-        millions of events per trace), so the heap helpers are bound to
-        locals and each entry is popped exactly once — an entry beyond
-        ``until`` is pushed back rather than peeked-then-popped.
+        millions of events per trace). Two structural optimizations:
+
+        * **batched resume scheduling** — all processes ready at the
+          current timestamp live in a FIFO deque and are drained in one
+          pass, so the common put→get→resume chains never pay
+          ``heappush``/``heappop``;
+        * timed entries are popped exactly once — an entry beyond
+          ``until`` is pushed back rather than peeked-then-popped.
+
+        Event ordering is deterministic and identical to a pure-heap
+        loop: timed entries due at the current instant run first (they
+        carry earlier insertion sequence numbers by construction), then
+        ready entries in insertion order. A ready callback can only
+        append to the ready deque or schedule strictly-future heap
+        entries, so the drain terminates per timestamp.
         """
         heap = self._heap
+        ready = self._ready
         pop = heapq.heappop
-        while heap:
-            entry = pop(heap)
-            time = entry[0]
+        while heap or ready:
+            # Timed events due exactly now (scheduled before the clock
+            # reached this instant) precede any same-timestamp resume.
+            while heap and heap[0][0] <= self.now:
+                entry = pop(heap)
+                entry[2](*entry[3])
+            if ready:
+                callback, args = ready.popleft()
+                callback(*args)
+                continue
+            if not heap:
+                break
+            time = heap[0][0]
             if time > until:
-                heapq.heappush(heap, entry)
                 self.now = until
                 return self.now
             self.now = time
+            entry = pop(heap)
             entry[2](*entry[3])
         return self.now
 

@@ -73,6 +73,9 @@ class RunConfig:
     granularity: Optional[int] = None
     consumer: object = field(default_factory=BenchmarkConsumer)
     epochs: Optional[float] = None
+    #: cap on simulation events per run when ``granularity`` is unset;
+    #: the auto-tuner coarsens chunks until the estimate fits
+    event_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -81,6 +84,8 @@ class RunConfig:
             raise ValueError("warmup must be in [0, duration)")
         if self.granularity is not None and self.granularity < 1:
             raise ValueError("granularity must be >= 1")
+        if self.event_budget is not None and self.event_budget < 1:
+            raise ValueError("event_budget must be >= 1")
 
 
 @dataclass
@@ -145,9 +150,91 @@ def _pipeline_epochs(pipeline: Pipeline) -> float:
     return epochs
 
 
-def _auto_granularity(pipeline: Pipeline) -> int:
+#: default event budget per trace — a few hundred ms of simulator time
+DEFAULT_EVENT_BUDGET = 300_000
+#: queue/overhead/compute/resume events one chunk costs per stage
+_EVENTS_PER_CHUNK = 6.0
+#: coarsest chunk the tuner will pick (beyond this, timing resolution
+#: degrades with no meaningful event-count win)
+_MAX_GRANULARITY = 65_536
+
+
+def _granularity_floor(pipeline: Pipeline) -> int:
+    """The legacy batch-size heuristic, kept as the fine-grained floor."""
     batch = pipeline.batch_size()
     return int(min(64, max(1, batch // 8)))
+
+
+def auto_granularity(
+    pipeline: Pipeline,
+    machine: Machine,
+    duration: float = 5.0,
+    event_budget: int = DEFAULT_EVENT_BUDGET,
+    consumer_step_seconds: float = 0.0,
+) -> int:
+    """Pick a chunk size so one trace emits a bounded number of events.
+
+    Chunking scales every stage's chunk count together, so the event
+    rate of the whole simulation is ``~ stages x events_per_chunk x
+    (element rate at the source) / granularity`` — independent of which
+    stage a chunk is at. Predicting the element rate with the analytic
+    steady-state model therefore lets us solve for the granularity that
+    lands the run inside ``event_budget`` regardless of per-op cost:
+    µs-cost NLP pipelines (huge element rates) get coarse chunks
+    automatically, while low-rate vision pipelines keep the legacy
+    batch-size heuristic as a floor (identical behaviour to before).
+    """
+    from repro.analysis.steady_state import predict_throughput
+
+    floor = _granularity_floor(pipeline)
+    try:
+        # ``cached=False``: granularity must suit the *fill/populate*
+        # regime too — sizing chunks for a cache's (much faster) serve
+        # rate would make them so coarse the populate pass cannot push
+        # a single chunk through the pipe within the trace window.
+        prediction = predict_throughput(
+            pipeline, machine,
+            consumer_step_seconds=consumer_step_seconds,
+            cached=False,
+        )
+    except (ValueError, KeyError):  # unmodellable structure: keep floor
+        return floor
+    rate = prediction.throughput
+    if not math.isfinite(rate) or rate <= 0:
+        return floor
+    ratios = pipeline.visit_ratios()
+    source_elements = sum(
+        ratios[s.name] for s in pipeline.sources()
+        if math.isfinite(ratios[s.name])
+    )
+    if source_elements <= 0:
+        return floor
+    stages = len(ratios) + 1  # +1 for the consumer
+    events = duration * rate * source_elements * stages * _EVENTS_PER_CHUNK
+    need = math.ceil(events / event_budget)
+    # Timing-resolution cap: at least ~8 chunks must reach the root per
+    # trace window, or the measurement is one burst and the fill
+    # transient swallows the run. The floor wins when the two conflict
+    # (very low-rate pipelines).
+    resolution_cap = math.floor(duration * rate * source_elements / 8.0)
+    need = min(need, max(floor, resolution_cap))
+    return int(min(_MAX_GRANULARITY, max(floor, need)))
+
+
+def resolve_granularity(
+    pipeline: Pipeline, machine: Machine, config: RunConfig
+) -> int:
+    """The chunk size one run configuration resolves to: the explicit
+    ``granularity`` if set, else the event-budget auto-tuner. Both trace
+    backends use this, so a given :class:`RunConfig` always means the
+    same chunking regardless of how the trace is acquired."""
+    return config.granularity or auto_granularity(
+        pipeline,
+        machine,
+        duration=config.duration,
+        event_budget=config.event_budget or DEFAULT_EVENT_BUDGET,
+        consumer_step_seconds=config.consumer.step_seconds_per_element,
+    )
 
 
 def _total_threads(pipeline: Pipeline) -> float:
@@ -200,7 +287,7 @@ def run_pipeline(
         memory_limit_bytes=machine.memory_bytes * 0.9,
     )
 
-    granularity = config.granularity or _auto_granularity(pipeline)
+    granularity = resolve_granularity(pipeline, machine, config)
     epochs = config.epochs if config.epochs is not None else _pipeline_epochs(pipeline)
 
     order = pipeline.topological_order()

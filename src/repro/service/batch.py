@@ -41,16 +41,25 @@ from repro.graph.datasets import Pipeline
 from repro.graph.serialize import pipeline_from_json, pipeline_to_json
 from repro.graph.signature import structural_signature
 from repro.host.machine import Machine
+from repro.runtime.backends import resolve_backend
 from repro.util import canonical_hash
 
 
 @dataclass(frozen=True)
 class OptimizationJob:
-    """One named unit of work for the batch service."""
+    """One named unit of work for the batch service.
+
+    ``granularity`` and ``backend`` override the service-wide trace
+    settings for this job only (``None`` = inherit). A µs-cost NLP job
+    can run coarse-chunked or fully analytic while the rest of the
+    fleet keeps the default simulator.
+    """
 
     name: str
     pipeline: Pipeline
     machine: Machine
+    granularity: Optional[int] = None
+    backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -209,6 +218,13 @@ class BatchOptimizer:
         Forwarded to :class:`~repro.core.plumber.Plumber` — every job in
         the fleet is optimized with the same settings, which is part of
         the cache key.
+    backend / event_budget:
+        Service-wide trace backend (a registered name — it must survive
+        the serialized hop to worker processes) and simulation event
+        budget. Jobs can override the backend and granularity per-job
+        (see :class:`OptimizationJob`); the effective per-job settings
+        are part of that job's cache key, so an analytic trace never
+        masquerades as a simulated one.
     """
 
     def __init__(
@@ -221,11 +237,19 @@ class BatchOptimizer:
         trace_duration: float = 3.0,
         trace_warmup: float = 0.5,
         granularity: Optional[int] = None,
+        backend: str = "simulate",
+        event_budget: Optional[int] = None,
     ) -> None:
         if executor not in ("serial", "thread", "process"):
             raise ValueError(
                 f"executor must be serial/thread/process, got {executor!r}"
             )
+        if not isinstance(backend, str):
+            raise TypeError(
+                "service backend must be a registered backend name "
+                "(it travels to worker processes as part of the payload)"
+            )
+        resolve_backend(backend)  # fail fast on unknown names
         self.machine = machine
         self.executor = executor
         self.max_workers = max_workers
@@ -235,6 +259,8 @@ class BatchOptimizer:
             "trace_duration": trace_duration,
             "trace_warmup": trace_warmup,
             "granularity": granularity,
+            "backend": backend,
+            "event_budget": event_budget,
         }
         #: persistent signature-keyed result cache (survives across
         #: optimize_fleet calls on this instance)
@@ -246,28 +272,36 @@ class BatchOptimizer:
         jobs: Union[Mapping[str, Pipeline], Sequence],
     ) -> List[OptimizationJob]:
         """Accept ``{name: pipeline}`` mappings, ``(name, pipeline[,
-        machine])`` tuples, or objects with name/pipeline/machine
-        attributes (e.g. :class:`repro.fleet.generator.FleetPipeline`)."""
+        machine[, granularity[, backend]]])`` tuples, or objects with
+        name/pipeline/machine (and optionally granularity/backend)
+        attributes — e.g. :class:`repro.fleet.generator.FleetPipeline`."""
         normalized: List[OptimizationJob] = []
         if isinstance(jobs, Mapping):
-            items = [(name, pipe, None) for name, pipe in jobs.items()]
+            items = [(name, pipe, None, None, None) for name, pipe in jobs.items()]
         else:
             items = []
             for entry in jobs:
                 if isinstance(entry, OptimizationJob):
-                    items.append((entry.name, entry.pipeline, entry.machine))
+                    items.append((entry.name, entry.pipeline, entry.machine,
+                                  entry.granularity, entry.backend))
                 elif isinstance(entry, tuple):
-                    name, pipe = entry[0], entry[1]
-                    mach = entry[2] if len(entry) > 2 else None
-                    items.append((name, pipe, mach))
+                    if not 2 <= len(entry) <= 5:
+                        raise ValueError(
+                            "job tuples are (name, pipeline[, machine"
+                            f"[, granularity[, backend]]]), got {len(entry)} "
+                            "elements"
+                        )
+                    items.append(tuple(entry) + (None,) * (5 - len(entry)))
                 else:
                     items.append((
                         entry.name,
                         entry.pipeline,
                         getattr(entry, "machine", None),
+                        getattr(entry, "granularity", None),
+                        getattr(entry, "backend", None),
                     ))
         seen: set = set()
-        for name, pipe, mach in items:
+        for name, pipe, mach, granularity, backend in items:
             if name in seen:
                 raise ValueError(f"duplicate job name {name!r}")
             seen.add(name)
@@ -277,16 +311,40 @@ class BatchOptimizer:
                     f"job {name!r} has no machine and the service has no "
                     "default machine"
                 )
-            normalized.append(OptimizationJob(name, pipe, machine))
+            if backend is not None:
+                if not isinstance(backend, str):
+                    raise TypeError(
+                        f"job {name!r}: per-job backend must be a "
+                        "registered backend name"
+                    )
+                resolve_backend(backend)
+            if granularity is not None and granularity < 1:
+                raise ValueError(
+                    f"job {name!r}: granularity must be >= 1, "
+                    f"got {granularity}"
+                )
+            normalized.append(
+                OptimizationJob(name, pipe, machine, granularity, backend)
+            )
         return normalized
 
-    def _cache_key(self, signature: str, machine: Machine) -> str:
+    def _job_plumber_config(self, job: OptimizationJob) -> dict:
+        """Service-wide Plumber settings with this job's overrides."""
+        config = dict(self.plumber_config)
+        if job.granularity is not None:
+            config["granularity"] = job.granularity
+        if job.backend is not None:
+            config["backend"] = job.backend
+        return config
+
+    def _cache_key(self, signature: str, machine: Machine,
+                   plumber_config: dict) -> str:
         return canonical_hash({
             "signature": signature,
             "machine": machine.fingerprint(),
             "passes": list(self.passes),
             "iterations": self.iterations,
-            "plumber": self.plumber_config,
+            "plumber": plumber_config,
         })
 
     def _make_pool(self) -> Optional[Executor]:
@@ -310,7 +368,7 @@ class BatchOptimizer:
         per-job results are identical to serial ``Plumber.optimize``.
         """
         work = self._normalize(jobs)
-        keyed: List[Tuple[OptimizationJob, str, str]] = []
+        keyed: List[Tuple[OptimizationJob, str, str, dict]] = []
         # Fleet jobs stamped from one template share the Pipeline object;
         # hash each distinct object once, not once per job.
         sig_by_id: Dict[int, str] = {}
@@ -319,17 +377,23 @@ class BatchOptimizer:
             if sig is None:
                 sig = structural_signature(job.pipeline)
                 sig_by_id[id(job.pipeline)] = sig
-            keyed.append((job, sig, self._cache_key(sig, job.machine)))
+            plumber_config = self._job_plumber_config(job)
+            keyed.append((
+                job, sig,
+                self._cache_key(sig, job.machine, plumber_config),
+                plumber_config,
+            ))
 
-        # First occurrence of each uncached key becomes a pool task.
+        # First occurrence of each uncached key becomes a pool task. The
+        # payload carries the exact plumber config the cache key hashed.
         pending: Dict[str, dict] = {}
-        for job, _sig, key in keyed:
+        for job, _sig, key, plumber_config in keyed:
             if key in self._cache or key in pending:
                 continue
             pending[key] = {
                 "pipeline": pipeline_to_json(job.pipeline),
                 "machine": job.machine.to_dict(),
-                "plumber": self.plumber_config,
+                "plumber": plumber_config,
                 "passes": list(self.passes),
                 "iterations": self.iterations,
             }
@@ -351,7 +415,7 @@ class BatchOptimizer:
         results: List[JobResult] = []
         hits = misses = 0
         fresh = set(pending)
-        for job, sig, key in keyed:
+        for job, sig, key, _plumber_config in keyed:
             cached = self._cache[key]
             is_hit = key not in fresh
             if is_hit:

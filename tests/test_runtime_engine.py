@@ -64,6 +64,63 @@ class TestEventLoop:
         with pytest.raises(SimulationError):
             Simulation().schedule(-1.0, lambda: None)
 
+    def test_zero_delay_bypasses_heap(self):
+        """Batched resume scheduling: same-timestamp events live in the
+        ready deque, not the heap (the hot-path optimization)."""
+        sim = Simulation()
+        sim.schedule(0.0, lambda: None)
+        assert not sim._heap
+        assert len(sim._ready) == 1
+        sim.schedule(0.5, lambda: None)
+        assert len(sim._heap) == 1
+
+    def test_same_timestamp_resumes_drain_in_insertion_order(self):
+        sim = Simulation()
+        log = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(0.0, log.append, tag)
+        sim.run(1.0)
+        assert log == ["a", "b", "c"]
+
+    def test_timed_events_precede_resumes_born_at_their_timestamp(self):
+        """Determinism contract: a heap entry due at time t was scheduled
+        before the clock reached t, so it must run before any zero-delay
+        event created *at* t — exactly the insertion-sequence order the
+        pure-heap loop had."""
+        sim = Simulation()
+        log = []
+
+        def first_at_t():
+            log.append("timed1")
+            sim.schedule(0.0, log.append, "ready")
+
+        sim.schedule(1.0, first_at_t)
+        sim.schedule(1.0, log.append, "timed2")
+        sim.run(2.0)
+        assert log == ["timed1", "timed2", "ready"]
+
+    def test_ready_chain_drains_before_clock_advances(self):
+        sim = Simulation()
+        log = []
+
+        def chain(depth):
+            log.append((sim.now, depth))
+            if depth > 0:
+                sim.schedule(0.0, chain, depth - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.schedule(1.0, log.append, "later")
+        sim.run(2.0)
+        assert log == [(0.0, 3), (0.0, 2), (0.0, 1), (0.0, 0), "later"]
+
+    def test_ready_drains_even_when_heap_is_empty(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(0.0, log.append, "only")
+        sim.run(10.0)
+        assert log == ["only"]
+        assert sim.now == 0.0
+
     def test_unknown_request_rejected(self):
         sim = Simulation()
 

@@ -9,6 +9,8 @@ from repro.runtime.executor import (
     BenchmarkConsumer,
     ModelConsumer,
     RunConfig,
+    _granularity_floor,
+    auto_granularity,
     run_pipeline,
 )
 from repro.runtime.engine import SimulationError
@@ -23,12 +25,78 @@ class TestRunConfig:
             RunConfig(duration=1.0, warmup=1.0)
         with pytest.raises(ValueError):
             RunConfig(granularity=0)
+        with pytest.raises(ValueError):
+            RunConfig(event_budget=0)
 
     def test_kwargs_and_config_exclusive(self, simple_pipeline, test_machine):
         with pytest.raises(TypeError):
             run_pipeline(
                 simple_pipeline, test_machine, RunConfig(), duration=1.0
             )
+
+
+class TestAutoGranularity:
+    """Event-budget granularity tuning: chunk size follows the predicted
+    event rate, with the legacy batch-size heuristic as the floor."""
+
+    def _cheap_pipeline(self, catalog, cpu):
+        return (
+            from_tfrecords(catalog, parallelism=2, name="src")
+            .map(make_udf("op", cpu=cpu), parallelism=2, name="m")
+            .batch(16, name="b")
+            .prefetch(4, name="pf")
+            .repeat(None, name="r")
+            .build("g")
+        )
+
+    def test_low_rate_pipeline_keeps_legacy_floor(
+        self, simple_pipeline, test_machine
+    ):
+        g = auto_granularity(simple_pipeline, test_machine, duration=3.0)
+        assert g == _granularity_floor(simple_pipeline)
+
+    def test_microsecond_ops_get_coarser_chunks(
+        self, small_catalog, test_machine
+    ):
+        nlp_like = self._cheap_pipeline(small_catalog, cpu=1e-6)
+        g = auto_granularity(nlp_like, test_machine, duration=3.0)
+        assert g > _granularity_floor(nlp_like)
+
+    def test_smaller_budget_means_coarser_chunks(
+        self, small_catalog, test_machine
+    ):
+        nlp_like = self._cheap_pipeline(small_catalog, cpu=1e-6)
+        fine = auto_granularity(nlp_like, test_machine, duration=3.0,
+                                event_budget=1_000_000)
+        coarse = auto_granularity(nlp_like, test_machine, duration=3.0,
+                                  event_budget=50_000)
+        assert coarse > fine
+
+    def test_slow_consumer_relaxes_granularity(
+        self, small_catalog, test_machine
+    ):
+        """A model-bound run produces fewer events, so chunks stay fine."""
+        nlp_like = self._cheap_pipeline(small_catalog, cpu=1e-6)
+        free = auto_granularity(nlp_like, test_machine, duration=3.0)
+        bound = auto_granularity(nlp_like, test_machine, duration=3.0,
+                                 consumer_step_seconds=0.1)
+        assert bound <= free
+
+    def test_budget_actually_bounds_wallclock(
+        self, small_catalog, test_machine
+    ):
+        """The point of the tuner: a µs-cost trace must stay cheap. The
+        chunk count reaching the consumer implies the event count; with
+        the default budget it is bounded regardless of element rate."""
+        nlp_like = self._cheap_pipeline(small_catalog, cpu=1e-6)
+        res = run_pipeline(nlp_like, test_machine, duration=3.0, warmup=0.5)
+        # Throughput is still measured sanely despite coarse chunks.
+        assert res.throughput > 0
+        coarse = run_pipeline(
+            nlp_like, test_machine, duration=3.0, warmup=0.5,
+            event_budget=50_000,
+        )
+        assert coarse.throughput == pytest.approx(res.throughput, rel=0.1)
 
 
 class TestThroughput:

@@ -191,6 +191,16 @@ class TestJobInputs:
         with pytest.raises(ValueError, match="executor"):
             BatchOptimizer(executor="rocket")
 
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            BatchOptimizer(executor="serial", backend="oracle")
+
+    def test_backend_object_rejected_at_service_level(self):
+        from repro.runtime.backends import AnalyticBackend
+
+        with pytest.raises(TypeError, match="registered backend name"):
+            BatchOptimizer(executor="serial", backend=AnalyticBackend())
+
     def test_optimize_one(self, small_catalog, test_machine):
         svc = BatchOptimizer(machine=test_machine, executor="serial",
                              iterations=1, trace_duration=1.0,
@@ -198,6 +208,109 @@ class TestJobInputs:
         result = svc.optimize_one("solo", small_pipeline(small_catalog))
         assert result.name == "solo"
         assert not result.cache_hit
+
+
+class TestPerJobOverrides:
+    """Per-job granularity/backend settings are honoured and are part of
+    each job's cache identity."""
+
+    def _svc(self, test_machine, **kwargs):
+        return BatchOptimizer(machine=test_machine, executor="serial",
+                              iterations=1, trace_duration=1.0,
+                              trace_warmup=0.25, **kwargs)
+
+    def test_backend_override_splits_cache_entries(self, small_catalog,
+                                                   test_machine):
+        from repro.service import OptimizationJob
+
+        pipe = small_pipeline(small_catalog)
+        svc = self._svc(test_machine)
+        report = svc.optimize_fleet([
+            OptimizationJob("sim", pipe, test_machine),
+            OptimizationJob("ana", pipe, test_machine, backend="analytic"),
+        ])
+        # Structurally identical, but a trace's backend is part of its
+        # identity: no cache sharing across backends.
+        assert report.cache_misses == 2
+        assert report.cache_hits == 0
+
+    def test_same_override_shares_cache(self, small_catalog, test_machine):
+        from repro.service import OptimizationJob
+
+        pipe = small_pipeline(small_catalog)
+        svc = self._svc(test_machine)
+        report = svc.optimize_fleet([
+            OptimizationJob("a", pipe, test_machine, backend="analytic"),
+            OptimizationJob("b", pipe, test_machine, backend="analytic"),
+        ])
+        assert report.cache_misses == 1
+        assert report.cache_hits == 1
+
+    def test_granularity_override_splits_cache_entries(self, small_catalog,
+                                                       test_machine):
+        from repro.service import OptimizationJob
+
+        pipe = small_pipeline(small_catalog)
+        svc = self._svc(test_machine)
+        report = svc.optimize_fleet([
+            OptimizationJob("fine", pipe, test_machine, granularity=1),
+            OptimizationJob("coarse", pipe, test_machine, granularity=8),
+        ])
+        assert report.cache_misses == 2
+
+    def test_service_wide_analytic_backend(self, small_catalog,
+                                           test_machine):
+        pipe = small_pipeline(small_catalog)
+        svc = self._svc(test_machine, backend="analytic")
+        result = svc.optimize_one("solo", pipe)
+        assert result.optimized_throughput > 0
+
+    def test_analytic_service_matches_analytic_plumber(self, small_catalog,
+                                                       test_machine):
+        pipe = small_pipeline(small_catalog)
+        svc = self._svc(test_machine, backend="analytic")
+        got = svc.optimize_one("solo", pipe)
+        serial = Plumber(test_machine, trace_duration=1.0, trace_warmup=0.25,
+                         backend="analytic").optimize(pipe, iterations=1)
+        assert got.decisions == tuple(serial.decisions)
+        assert got.optimized_throughput == pytest.approx(
+            serial.model.observed_throughput
+        )
+
+    def test_per_job_unknown_backend_rejected(self, small_catalog,
+                                              test_machine):
+        from repro.service import OptimizationJob
+
+        svc = self._svc(test_machine)
+        with pytest.raises(ValueError, match="backend"):
+            svc.optimize_fleet([
+                OptimizationJob("bad", small_pipeline(small_catalog),
+                                test_machine, backend="oracle"),
+            ])
+
+    def test_fleet_generator_stamps_overrides(self):
+        jobs = generate_pipeline_fleet(
+            num_jobs=4, distinct=2, seed=7,
+            config=FleetConfig(
+                domain_weights={"vision": 1.0},
+                trace_backend="analytic",
+                trace_granularity=4,
+                domain_granularity={"vision": 12},
+            ),
+        )
+        assert all(j.backend == "analytic" for j in jobs)
+        assert all(j.granularity == 12 for j in jobs)  # domain wins
+
+    def test_fleet_overrides_flow_into_service(self, test_machine):
+        jobs = generate_pipeline_fleet(
+            num_jobs=4, distinct=2, seed=7,
+            config=FleetConfig(domain_weights={"vision": 1.0},
+                               trace_backend="analytic"),
+        )
+        svc = BatchOptimizer(executor="serial", iterations=1)
+        report = svc.optimize_fleet(jobs)
+        assert report.cache_misses == 2
+        assert all(j.optimized_throughput > 0 for j in report.jobs)
 
 
 class TestProcessPool:
