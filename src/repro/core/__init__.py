@@ -19,6 +19,19 @@ from repro.core.disk_planner import (
     io_bound_throughput,
 )
 from repro.core.lp import LPError, LPSolution, solve_allocation
+from repro.core.passes import (
+    Action,
+    InsertCache,
+    InsertPrefetch,
+    OptimizerPass,
+    PassContext,
+    RemovePipelineNode,
+    SetParallelism,
+    available_passes,
+    register_pass,
+    resolve_pass,
+    unregister_pass,
+)
 from repro.core.plumber import (
     OptimizationResult,
     PickBestResult,
@@ -26,6 +39,7 @@ from repro.core.plumber import (
     optimize,
     optimize_pipeline,
 )
+from repro.core.spec import DEFAULT_PASSES, OptimizeSpec
 from repro.core.prefetch_planner import PrefetchDecision, plan_prefetch
 from repro.core.randomness import node_is_random, tainted_nodes, udf_is_random
 from repro.core.rates import (
@@ -48,9 +62,18 @@ from repro.core.rewriter import (
 from repro.core.trace import HostInfo, PipelineTrace
 
 __all__ = [
+    "Action",
     "BottleneckReport",
     "CacheDecision",
+    "DEFAULT_PASSES",
     "DiskCurve",
+    "InsertCache",
+    "InsertPrefetch",
+    "OptimizeSpec",
+    "OptimizerPass",
+    "PassContext",
+    "RemovePipelineNode",
+    "SetParallelism",
     "HostInfo",
     "LPError",
     "LPSolution",
@@ -61,6 +84,10 @@ __all__ = [
     "PipelineTrace",
     "Plumber",
     "PrefetchDecision",
+    "available_passes",
+    "register_pass",
+    "resolve_pass",
+    "unregister_pass",
     "RewriteError",
     "SequentialTuner",
     "SourceSizeEstimate",

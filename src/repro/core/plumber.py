@@ -4,11 +4,15 @@ The paper's workflow, one line for the user:
 
 1. **Trace** the pipeline under a benchmark workload (runtime flag).
 2. **Analyze** — resource-accounted rates, dataset sizes, randomness.
-3. **Optimize** — three logical passes (LP parallelism, prefetch
-   insertion, cache insertion), run for two iterations by default "so
-   that the estimated rates more closely reflect the final pipeline's
-   performance".
+3. **Optimize** — a pipeline of :class:`~repro.core.passes.OptimizerPass`
+   stages (LP parallelism, prefetch insertion, cache insertion by
+   default), run for two iterations "so that the estimated rates more
+   closely reflect the final pipeline's performance".
 4. **Rewrite** and hand back a pipeline with the same signature.
+
+The whole configuration — passes, iterations, backend, trace window,
+granularity, memory — is one :class:`~repro.core.spec.OptimizeSpec`;
+the legacy keyword arguments remain as conveniences that build a spec.
 
 Entry points: :class:`Plumber` for step-by-step control,
 :func:`optimize_pipeline` for the one-liner, and :func:`optimize` — the
@@ -23,26 +27,18 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.bottleneck import throughput_estimates
-from repro.core.cache_planner import CacheDecision, plan_cache_greedy
-from repro.core.lp import LPSolution, solve_allocation
-from repro.core.prefetch_planner import plan_prefetch
+from repro.core.cache_planner import CacheDecision
+from repro.core.lp import LPSolution
+from repro.core.passes import PassContext, resolve_passes
 from repro.core.rates import PipelineModel, build_model
-from repro.core.rewriter import (
-    insert_cache_after,
-    insert_prefetch_after,
-    set_parallelism,
-    strip_caches,
-)
+from repro.core.rewriter import strip_caches
+from repro.core.spec import DEFAULT_PASSES, OptimizeSpec
 from repro.core.trace import PipelineTrace
 from repro.graph.datasets import Pipeline
 from repro.host.machine import Machine
 from repro.host.memory import MemoryBudget
 from repro.runtime.backends import BackendSpec, resolve_backend
 from repro.runtime.executor import RunConfig
-
-#: default optimization passes, in order
-DEFAULT_PASSES = ("parallelism", "prefetch", "cache")
 
 
 @dataclass
@@ -74,10 +70,11 @@ class OptimizationResult:
 class Plumber:
     """Tracing + rewriting front-end bound to one machine.
 
-    A ``Plumber`` is re-entrant: it holds only immutable configuration,
-    and every :meth:`optimize` call builds its own simulation, model, and
-    (when not supplied) :class:`MemoryBudget`, so concurrent optimize
-    calls never share mutable state. The batch optimization service
+    A ``Plumber`` is re-entrant: it holds only immutable configuration
+    (one machine, one :class:`~repro.core.spec.OptimizeSpec`), and every
+    :meth:`optimize` call builds its own simulation, model, and (when
+    not supplied) :class:`MemoryBudget`, so concurrent optimize calls
+    never share mutable state. The batch optimization service
     (:mod:`repro.service`) runs optimize calls concurrently from worker
     pools (one short-lived ``Plumber`` per job payload).
 
@@ -85,6 +82,13 @@ class Plumber:
     ----------
     machine:
         The (simulated) host to trace and optimize for.
+    spec:
+        The full optimizer configuration. The remaining keyword
+        arguments are conveniences layered on top of it (each non-None
+        value overrides the corresponding spec field), so
+        ``Plumber(machine, backend="analytic")`` and
+        ``Plumber(machine, spec=OptimizeSpec(backend="analytic"))`` are
+        the same plumber.
     trace_duration / trace_warmup:
         Virtual seconds of tracing per iteration (the paper uses ~1
         minute of wallclock; in simulation a couple of virtual seconds
@@ -92,31 +96,53 @@ class Plumber:
     backend:
         Trace acquisition backend: ``"simulate"`` (default, the
         discrete-event tracer), ``"analytic"`` (closed-form fast path),
-        or any :class:`~repro.runtime.backends.TraceBackend` object.
+        ``"adaptive"`` (analytic first, simulation fallback), or any
+        :class:`~repro.runtime.backends.TraceBackend` object.
     event_budget:
         Cap on simulation events per trace when ``granularity`` is
         unset; the granularity auto-tuner coarsens chunks until the
-        estimated event count fits. Both backends honour it — the
-        analytic backend uses the resulting granularity for its I/O
-        amortization and fill-latency terms, so the two backends model
-        the same configuration.
+        estimated event count fits. All backends honour it, so a given
+        spec means the same chunking regardless of how the trace is
+        acquired.
     """
 
     def __init__(
         self,
         machine: Machine,
-        trace_duration: float = 3.0,
-        trace_warmup: float = 0.5,
+        trace_duration: Optional[float] = None,
+        trace_warmup: Optional[float] = None,
         granularity: Optional[int] = None,
-        backend: BackendSpec = "simulate",
+        backend: BackendSpec = None,
         event_budget: Optional[int] = None,
+        spec: Optional[OptimizeSpec] = None,
     ) -> None:
+        base = spec if spec is not None else OptimizeSpec()
         self.machine = machine
-        self.trace_duration = trace_duration
-        self.trace_warmup = trace_warmup
-        self.granularity = granularity
-        self.backend = resolve_backend(backend)
-        self.event_budget = event_budget
+        self.spec = base.with_overrides(
+            trace_duration=trace_duration,
+            trace_warmup=trace_warmup,
+            granularity=granularity,
+            backend=backend,
+            event_budget=event_budget,
+        )
+        self.backend = resolve_backend(self.spec.backend)
+
+    # -- legacy attribute mirrors (read-only views over the spec) ------
+    @property
+    def trace_duration(self) -> float:
+        return self.spec.trace_duration
+
+    @property
+    def trace_warmup(self) -> float:
+        return self.spec.trace_warmup
+
+    @property
+    def granularity(self) -> Optional[int]:
+        return self.spec.granularity
+
+    @property
+    def event_budget(self) -> Optional[int]:
+        return self.spec.event_budget
 
     # ------------------------------------------------------------------
     def trace(self, pipeline: Pipeline, **overrides) -> PipelineTrace:
@@ -129,11 +155,13 @@ class Plumber:
             overrides.pop("backend", None) or self.backend
         )
         config = RunConfig(
-            duration=overrides.pop("duration", self.trace_duration),
-            warmup=overrides.pop("warmup", self.trace_warmup),
-            granularity=overrides.pop("granularity", self.granularity),
-            event_budget=overrides.pop("event_budget", self.event_budget),
-            trace=True,
+            duration=overrides.pop("duration", self.spec.trace_duration),
+            warmup=overrides.pop("warmup", self.spec.trace_warmup),
+            granularity=overrides.pop("granularity", self.spec.granularity),
+            event_budget=overrides.pop(
+                "event_budget", self.spec.event_budget
+            ),
+            trace=overrides.pop("trace", True),
             **overrides,
         )
         return backend.trace(pipeline, self.machine, config)
@@ -146,73 +174,86 @@ class Plumber:
         """Trace + analyze in one call."""
         return self.analyze(self.trace(pipeline))
 
+    def _model_for_spec(self, pipeline: Pipeline,
+                        spec: OptimizeSpec) -> PipelineModel:
+        """Trace + analyze under an explicit spec (the optimize driver's
+        path, so a per-call spec override governs trace acquisition too,
+        not just pass selection)."""
+        config = RunConfig(
+            duration=spec.trace_duration,
+            warmup=spec.trace_warmup,
+            granularity=spec.granularity,
+            event_budget=spec.event_budget,
+            trace=True,
+        )
+        backend = resolve_backend(spec.backend)
+        return self.analyze(backend.trace(pipeline, self.machine, config))
+
     # ------------------------------------------------------------------
     def optimize(
         self,
         pipeline: Pipeline,
-        passes: Sequence[str] = DEFAULT_PASSES,
-        iterations: int = 2,
+        passes: Optional[Sequence] = None,
+        iterations: Optional[int] = None,
         memory: Optional[MemoryBudget] = None,
-        allocate_remaining: bool = True,
+        allocate_remaining: Optional[bool] = None,
+        spec: Optional[OptimizeSpec] = None,
     ) -> OptimizationResult:
-        """Run the optimizer passes and return the rewritten pipeline."""
-        unknown = set(passes) - {"parallelism", "prefetch", "cache"}
-        if unknown:
-            raise ValueError(f"unknown optimizer passes: {sorted(unknown)}")
-        if iterations < 1:
-            raise ValueError("iterations must be >= 1")
+        """Drive the pass pipeline and return the rewritten pipeline.
+
+        Every pass in ``spec.passes`` (a registry name or an
+        :class:`~repro.core.passes.OptimizerPass` object) is asked to
+        ``plan`` against the current model; planned actions are applied
+        through the rewriter and the pipeline is re-traced before the
+        next pass runs. The call-level arguments override the
+        corresponding spec fields for this call only.
+        """
+        effective = (spec if spec is not None else self.spec).with_overrides(
+            passes=passes,
+            iterations=iterations,
+            allocate_remaining=allocate_remaining,
+        )
+        resolved = resolve_passes(effective.passes)
         if memory is None:
-            memory = MemoryBudget(self.machine.memory_bytes)
+            memory = MemoryBudget(
+                effective.memory_bytes
+                if effective.memory_bytes is not None
+                else self.machine.memory_bytes
+            )
 
         current = strip_caches(pipeline)
         decisions: List[str] = []
-        lp: Optional[LPSolution] = None
-        cache: Optional[CacheDecision] = None
-        model = self.model(current)
+        model = self._model_for_spec(current, effective)
+        ctx = PassContext(
+            machine=self.machine,
+            memory=memory,
+            spec=effective,
+            model=model,
+        )
         baseline_throughput = model.observed_throughput
 
-        for iteration in range(iterations):
-            if "parallelism" in passes:
-                lp = solve_allocation(model)
-                plan = lp.parallelism_plan(
-                    model, allocate_remaining=allocate_remaining
-                )
-                if plan:
-                    current = set_parallelism(current, plan)
-                    decisions.append(
-                        f"iter{iteration}: parallelism {plan} "
-                        f"(LP X*={lp.predicted_throughput:.2f})"
-                    )
-                model = self.model(current)
+        for iteration in range(effective.iterations):
+            ctx.iteration = iteration
+            for opt_pass in resolved:
+                actions = opt_pass.plan(ctx)
+                if not actions:
+                    continue
+                for action in actions:
+                    current = action.apply(current)
+                    decisions.append(action.description)
+                # The rewrite changed the pipeline; re-trace so the next
+                # pass plans against up-to-date rates. (Tracing is
+                # deterministic, so skipping the re-trace when nothing
+                # changed is observably identical and much cheaper.)
+                ctx.model = self._model_for_spec(current, effective)
 
-            if "prefetch" in passes:
-                for decision in plan_prefetch(model):
-                    current = insert_prefetch_after(
-                        current,
-                        decision.target,
-                        decision.buffer_size,
-                        name=f"prefetch_{decision.target}_i{iteration}",
-                    )
-                    decisions.append(
-                        f"iter{iteration}: prefetch[{decision.buffer_size}] "
-                        f"after {decision.target}"
-                    )
-                model = self.model(current)
-
-            if "cache" in passes and cache is None:
-                cache = plan_cache_greedy(model, memory)
-                if cache is not None:
-                    memory.reserve(f"cache_{cache.target}", cache.materialized_bytes)
-                    current = insert_cache_after(current, cache.target)
-                    decisions.append(f"iter{iteration}: {cache}")
-                    model = self.model(current)
-
-        predicted = lp.predicted_throughput if lp else math.nan
+        model = ctx.model
+        predicted = ctx.lp.predicted_throughput if ctx.lp else math.nan
         return OptimizationResult(
             pipeline=current,
             model=model,
-            lp=lp,
-            cache=cache,
+            lp=ctx.lp,
+            cache=ctx.cache,
             decisions=decisions,
             predicted_throughput=predicted,
             baseline_throughput=baseline_throughput,
@@ -222,7 +263,7 @@ class Plumber:
     def pick_best(
         self,
         variants: Dict[str, Pipeline],
-        passes: Sequence[str] = DEFAULT_PASSES,
+        passes: Optional[Sequence] = None,
         iterations: int = 1,
     ) -> "PickBestResult":
         """Optimize each variant and pick the fastest (Figure 11).
@@ -231,6 +272,10 @@ class Plumber:
         treats cached subtrees as free), so cold-start does not penalize
         the cacheable variant — the property the paper calls out as hard
         for online tuners.
+
+        Ties on observed throughput are broken by variant name
+        (lexicographically smallest wins), so the winner is
+        deterministic regardless of dict insertion order.
         """
         if not variants:
             raise ValueError("pick_best requires at least one variant")
@@ -240,7 +285,8 @@ class Plumber:
             res = self.optimize(pipe, passes=passes, iterations=iterations)
             results[name] = res
             scores[name] = res.model.observed_throughput
-        winner = max(scores, key=scores.get)
+        best = max(scores.values())
+        winner = min(name for name, score in scores.items() if score == best)
         return PickBestResult(winner=winner, results=results, scores=scores)
 
 
@@ -261,10 +307,11 @@ class PickBestResult:
 def optimize_pipeline(
     pipeline: Pipeline,
     machine: Machine,
+    spec: Optional[OptimizeSpec] = None,
     **kwargs,
 ) -> OptimizationResult:
     """One-line pipeline optimization (the paper's headline API)."""
-    return Plumber(machine).optimize(pipeline, **kwargs)
+    return Plumber(machine, spec=spec).optimize(pipeline, **kwargs)
 
 
 def optimize(

@@ -24,6 +24,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.analysis.steady_state import predict_throughput
+from repro.core.spec import OptimizeSpec
 from repro.graph.builder import from_tfrecords
 from repro.graph.signature import infer_signatures
 from repro.graph.udf import CostModel, UserFunction
@@ -79,6 +80,11 @@ class FleetConfig:
     #: than even a tuned pipeline (the job is never input-bound).
     accel_speed_low: float = 0.03
     accel_speed_high: float = 2.5
+    #: full optimizer configuration stamped onto generated fleet jobs
+    #: (``None`` = inherit the batch service's default spec); the
+    #: per-domain granularity and backend overrides below are folded in
+    #: on top of it.
+    optimize_spec: OptimizeSpec | None = None
     #: trace acquisition overrides stamped onto generated fleet jobs
     #: (``None`` = inherit the batch service's defaults): trace backend
     #: name, chunk granularity, and per-domain granularity overrides —
@@ -151,9 +157,11 @@ def _build_job_pipeline(rng: np.random.Generator, domain: str, config: str):
 class FleetPipeline:
     """One named fleet job ready for the batch optimization service.
 
-    ``granularity`` and ``backend`` are per-job trace overrides picked
+    ``spec`` (a full :class:`~repro.core.spec.OptimizeSpec`) and the
+    loose ``granularity``/``backend`` knobs are per-job overrides picked
     up by :class:`repro.service.BatchOptimizer` (``None`` = inherit the
-    service defaults).
+    service defaults; the loose knobs are folded into the effective
+    spec on top of ``spec``).
     """
 
     name: str
@@ -163,6 +171,7 @@ class FleetPipeline:
     config: str                 # tuned / partial / naive
     granularity: int | None = None
     backend: str | None = None
+    spec: OptimizeSpec | None = None
 
 
 def generate_pipeline_fleet(
@@ -213,6 +222,10 @@ def generate_pipeline_fleet(
         granularity = config.domain_granularity.get(
             domain, config.trace_granularity
         )
+        spec = config.optimize_spec
+        if spec is not None:
+            spec = spec.with_overrides(granularity=granularity,
+                                       backend=config.trace_backend)
         jobs.append(
             FleetPipeline(
                 name=f"job{i:03d}_{domain}_{tuning}",
@@ -222,6 +235,7 @@ def generate_pipeline_fleet(
                 config=tuning,
                 granularity=granularity,
                 backend=config.trace_backend,
+                spec=spec,
             )
         )
     return jobs

@@ -21,17 +21,26 @@ from repro.runtime.stats import NodeStats, StatsBoard
 
 # Backends import core.trace (which imports the executor above), so they
 # must come after the executor to keep package initialization acyclic.
-from repro.runtime.analytic import analytic_trace
+from repro.runtime.adaptive import AdaptiveBackend, AdaptiveDecision
+from repro.runtime.analytic import (
+    EquilibriumDiagnostics,
+    analytic_trace,
+    equilibrium_diagnostics,
+)
 from repro.runtime.backends import (
     AnalyticBackend,
     SimulateBackend,
     TraceBackend,
     available_backends,
+    register_backend,
     resolve_backend,
 )
 
 __all__ = [
+    "AdaptiveBackend",
+    "AdaptiveDecision",
     "AnalyticBackend",
+    "EquilibriumDiagnostics",
     "BenchmarkConsumer",
     "Compute",
     "DEFAULT_EVENT_BUDGET",
@@ -51,6 +60,8 @@ __all__ = [
     "analytic_trace",
     "auto_granularity",
     "available_backends",
+    "equilibrium_diagnostics",
+    "register_backend",
     "resolve_backend",
     "run_pipeline",
 ]

@@ -1,0 +1,144 @@
+"""Adaptive trace backend: analytic first, simulate when in doubt.
+
+The analytic backend is 20–1600x cheaper per trace than the simulator
+and has bottleneck parity with it on the seed workloads — but parity is
+a *statistical* property, and the cases where the closed-form model can
+mislead the optimizer are structurally identifiable: when two capacity
+constraints are nearly tied, a small modelling error flips which one
+binds, and the LP downstream allocates cores to the wrong node.
+
+The ``"adaptive"`` backend turns that observation into a policy:
+
+1. compute the closed-form equilibrium diagnostics (O(nodes), no
+   events) and the analytic trace;
+2. if the analytic picture is *decisive* — the binding cap clears the
+   runner-up by at least ``margin`` and the trace is healthy — keep the
+   analytic trace;
+3. otherwise fall back to the discrete-event simulator, and record
+   whether the two backends actually disagreed on the bottleneck (via
+   the same build-model→LP attribution the optimizer uses).
+
+Every emitted :class:`~repro.core.trace.PipelineTrace` records which
+backend produced it (``"adaptive[analytic]"`` / ``"adaptive[simulate]"``)
+so downstream consumers — and the service's spec-keyed result cache —
+never confuse the two acquisition paths. Decisions are kept in a
+bounded per-instance log for fleet-level reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.trace import PipelineTrace
+
+from repro.graph.datasets import Pipeline
+from repro.host.machine import Machine
+from repro.runtime.analytic import analytic_trace_with_diagnostics
+from repro.runtime.executor import RunConfig, run_pipeline
+
+#: most recent decisions kept per backend instance
+_DECISION_LOG_LIMIT = 512
+
+
+@dataclass(frozen=True)
+class AdaptiveDecision:
+    """One adaptive-backend routing decision, for observability."""
+
+    pipeline: str                #: pipeline name
+    chosen: str                  #: "analytic" or "simulate"
+    reason: str                  #: "confident" / "low-confidence" / "degenerate"
+    margin: float                #: equilibrium margin (runner-up headroom)
+    binding: str                 #: analytic binding-cap label
+    #: did analytic and simulated traces agree on the bottleneck?
+    #: True/False when the fallback ran and the LP attribution worked
+    #: on both traces; None when analytic was accepted (nothing to
+    #: compare) or attribution failed.
+    agreed: Optional[bool] = None
+
+
+class AdaptiveBackend:
+    """Analytic fast path with a simulation fallback policy.
+
+    Parameters
+    ----------
+    margin:
+        Minimum relative headroom between the analytic equilibrium's
+        binding cap and its runner-up for the analytic trace to be
+        trusted. ``0.1`` means the second constraint must be at least
+        10% looser than the binding one; below that the two are "nearly
+        tied" and the simulator arbitrates.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, margin: float = 0.1) -> None:
+        if margin < 0:
+            raise ValueError(f"margin must be >= 0, got {margin}")
+        self.margin = margin
+        self.decisions: List[AdaptiveDecision] = []
+
+    # ------------------------------------------------------------------
+    def trace(
+        self, pipeline: Pipeline, machine: Machine, config: RunConfig
+    ) -> "PipelineTrace":
+        ana, diag = analytic_trace_with_diagnostics(pipeline, machine, config)
+        healthy = (
+            math.isfinite(ana.root_throughput) and ana.root_throughput > 0
+        )
+        if healthy and diag.margin >= self.margin:
+            ana.backend = "adaptive[analytic]"
+            self._record(AdaptiveDecision(
+                pipeline=pipeline.name, chosen="analytic",
+                reason="confident", margin=diag.margin,
+                binding=diag.binding,
+            ))
+            return ana
+
+        # Ambiguous or degenerate analytic picture: simulate, and audit
+        # whether the fallback actually changed the bottleneck story.
+        from repro.core.trace import PipelineTrace
+
+        sim = PipelineTrace.from_run(run_pipeline(pipeline, machine, config))
+        sim.backend = "adaptive[simulate]"
+        self._record(AdaptiveDecision(
+            pipeline=pipeline.name, chosen="simulate",
+            reason="low-confidence" if healthy else "degenerate",
+            margin=diag.margin, binding=diag.binding,
+            agreed=self._bottlenecks_agree(ana, sim),
+        ))
+        return sim
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bottlenecks_agree(ana: "PipelineTrace",
+                           sim: "PipelineTrace") -> Optional[bool]:
+        """LP bottleneck attribution on both traces (None on failure).
+
+        This is exactly the optimizer's view: if the LP blames the same
+        constraint under either trace, the analytic fast path would have
+        driven the same decisions and the fallback bought fidelity, not
+        a different answer.
+        """
+        # Imported lazily: repro.core.rates transitively imports this
+        # package during initialization.
+        from repro.core.lp import LPError, solve_allocation
+        from repro.core.rates import build_model
+
+        try:
+            lp_ana = solve_allocation(build_model(ana))
+            lp_sim = solve_allocation(build_model(sim))
+        except (LPError, ValueError, KeyError):
+            return None
+        return lp_ana.bottleneck == lp_sim.bottleneck
+
+    def _record(self, decision: AdaptiveDecision) -> None:
+        self.decisions.append(decision)
+        if len(self.decisions) > _DECISION_LOG_LIMIT:
+            del self.decisions[:-_DECISION_LOG_LIMIT]
+
+    def clear_decisions(self) -> None:
+        """Drop the recorded decision log (e.g. between fleet runs)."""
+        self.decisions.clear()

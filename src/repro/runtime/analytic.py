@@ -199,20 +199,22 @@ def _build_node_models(
     return models
 
 
-def _equilibrium_rate(
+def _equilibrium_caps(
     models: List[_NodeModel],
     machine: Machine,
     consumer_step: float,
     serving: bool,
-) -> float:
-    """Root throughput bound: min of stage, CPU, disk, consumer caps.
+) -> Dict[str, float]:
+    """Labelled root-throughput bounds: stage, CPU, disk, consumer caps.
 
     ``serving=True`` models the post-populate regime of a cached
     pipeline: sub-cache nodes are free and the cache pays its serve-side
     cost; ``serving=False`` is the whole-chain (fill or cache-free)
-    regime.
+    regime. Labels are ``stage:<node>``, ``cpu``, ``disk``, and
+    ``consumer`` — the same vocabulary as
+    :func:`repro.analysis.steady_state.predict_throughput`.
     """
-    caps: List[float] = []
+    caps: Dict[str, float] = {}
     cpu_demand = 0.0
     disk_bytes = 0.0
     streams = 0
@@ -225,19 +227,145 @@ def _equilibrium_rate(
             wall = m.serve_wall_seconds
             core = m.serve_core_seconds
         if wall > 0 and m.visit > 0:
-            caps.append(m.workers / (m.visit * wall))
+            caps[f"stage:{m.node.name}"] = m.workers / (m.visit * wall)
         cpu_demand += m.visit * core
         if isinstance(m.node, InterleaveSourceNode):
             disk_bytes += m.visit * m.bytes_read
             streams += m.workers
     if cpu_demand > 0:
-        caps.append(machine.cores / cpu_demand)
+        caps["cpu"] = machine.cores / cpu_demand
     if disk_bytes > 0 and streams > 0:
-        caps.append(machine.disk.bandwidth(streams) / disk_bytes)
+        caps["disk"] = machine.disk.bandwidth(streams) / disk_bytes
     if consumer_step > 0:
-        caps.append(1.0 / consumer_step)
-    rate = min(caps) if caps else math.inf
+        caps["consumer"] = 1.0 / consumer_step
+    return caps
+
+
+def _equilibrium_rate(
+    models: List[_NodeModel],
+    machine: Machine,
+    consumer_step: float,
+    serving: bool,
+) -> float:
+    """Root throughput bound: the min over :func:`_equilibrium_caps`."""
+    caps = _equilibrium_caps(models, machine, consumer_step, serving)
+    rate = min(caps.values()) if caps else math.inf
     return min(rate, _RATE_CLAMP)
+
+
+@dataclass(frozen=True)
+class EquilibriumDiagnostics:
+    """How decisive the analytic steady-state model is for one run.
+
+    ``margin`` is the relative headroom between the binding cap and the
+    runner-up (``runner_up/binding - 1``): a large margin means the
+    bottleneck identification is structurally unambiguous, a margin near
+    zero means two constraints are nearly tied and a discrete-event
+    simulation may attribute the bottleneck differently. The adaptive
+    backend (:mod:`repro.runtime.adaptive`) uses this as its confidence
+    signal.
+    """
+
+    rate: float                  # equilibrium root throughput
+    binding: str                 # label of the binding cap
+    runner_up: str               # label of the second-smallest cap
+    margin: float                # runner_up/binding - 1 (inf if only one)
+    caps: Dict[str, float]       # every labelled cap
+
+
+@dataclass(frozen=True)
+class _Prepared:
+    """Shared setup for one analytic run: validated pipeline, resolved
+    granularity, node models, and regime facts. Built once per run and
+    reused by the trace synthesis and the diagnostics, so callers that
+    need both (the adaptive backend) pay for the model build — and the
+    granularity auto-tune it includes — exactly once."""
+
+    config: RunConfig
+    models: List[_NodeModel]
+    granularity: int
+    consumer_step: float
+    epochs: float
+    has_cache: bool
+
+    @property
+    def serving(self) -> bool:
+        """Steady-state regime: serve-side iff a cache repeats."""
+        return self.has_cache and self.epochs > 1
+
+
+def _prepare(
+    pipeline: Pipeline,
+    machine: Machine,
+    config: Optional[RunConfig],
+    config_overrides: dict,
+) -> _Prepared:
+    if config is None:
+        config = RunConfig(**config_overrides)
+    elif config_overrides:
+        raise TypeError("pass either a RunConfig or keyword overrides, not both")
+    validate_pipeline(pipeline)
+    overhead = machine.iterator_overhead + (
+        machine.tracer_overhead if config.trace else 0.0
+    )
+    granularity = resolve_granularity(pipeline, machine, config)
+    models = _build_node_models(pipeline, machine, overhead, granularity)
+    epochs = (
+        config.epochs if config.epochs is not None
+        else _pipeline_epochs(pipeline)
+    )
+    return _Prepared(
+        config=config,
+        models=models,
+        granularity=granularity,
+        consumer_step=config.consumer.step_seconds_per_element,
+        epochs=epochs,
+        has_cache=any(isinstance(m.node, CacheNode) for m in models),
+    )
+
+
+def _diagnostics_from(prepared: _Prepared,
+                      machine: Machine) -> EquilibriumDiagnostics:
+    caps = _equilibrium_caps(
+        prepared.models, machine, prepared.consumer_step, prepared.serving
+    )
+    if not caps:
+        return EquilibriumDiagnostics(
+            rate=math.inf, binding="unbounded", runner_up="unbounded",
+            margin=math.inf, caps={},
+        )
+    ordered = sorted(caps.items(), key=lambda kv: kv[1])
+    binding, rate = ordered[0]
+    if len(ordered) > 1 and rate > 0:
+        runner_up, second = ordered[1]
+        margin = second / rate - 1.0
+    else:
+        runner_up, margin = binding, math.inf
+    return EquilibriumDiagnostics(
+        rate=min(rate, _RATE_CLAMP),
+        binding=binding,
+        runner_up=runner_up,
+        margin=margin,
+        caps=caps,
+    )
+
+
+def equilibrium_diagnostics(
+    pipeline: Pipeline,
+    machine: Machine,
+    config: Optional[RunConfig] = None,
+    **config_overrides,
+) -> EquilibriumDiagnostics:
+    """Closed-form bottleneck attribution + confidence for one run.
+
+    Uses the same node models and regime selection as
+    :func:`analytic_trace` (the serve regime when a cache repeats past
+    its populate epoch, the whole-chain regime otherwise), so the
+    diagnostics describe exactly the trace the analytic backend would
+    emit.
+    """
+    prepared = _prepare(pipeline, machine, config, config_overrides)
+    return _diagnostics_from(prepared, machine)
 
 
 def _fill_latency(models: List[_NodeModel], granularity: int) -> float:
@@ -291,25 +419,45 @@ def analytic_trace(
     analytic and simulated traces of the same run are comparable
     artifacts.
     """
+    return _trace_from(
+        _prepare(pipeline, machine, config, config_overrides),
+        pipeline, machine,
+    )
+
+
+def analytic_trace_with_diagnostics(
+    pipeline: Pipeline,
+    machine: Machine,
+    config: Optional[RunConfig] = None,
+    **config_overrides,
+) -> tuple:
+    """One analytic run's trace *and* its equilibrium diagnostics.
+
+    The shared setup (validation, granularity auto-tune, node models)
+    runs once — this is the entry point for callers that need both,
+    like the adaptive backend's accept-or-simulate decision.
+    """
+    prepared = _prepare(pipeline, machine, config, config_overrides)
+    return (
+        _trace_from(prepared, pipeline, machine),
+        _diagnostics_from(prepared, machine),
+    )
+
+
+def _trace_from(
+    prepared: _Prepared, pipeline: Pipeline, machine: Machine
+) -> "PipelineTrace":
+    """Synthesize the trace artifact from prepared node models."""
     # Imported here: repro.core.trace itself imports the runtime package,
     # so a module-level import would be circular.
     from repro.core.trace import HostInfo, PipelineTrace
 
-    if config is None:
-        config = RunConfig(**config_overrides)
-    elif config_overrides:
-        raise TypeError("pass either a RunConfig or keyword overrides, not both")
-    validate_pipeline(pipeline)
-
-    overhead = machine.iterator_overhead + (
-        machine.tracer_overhead if config.trace else 0.0
-    )
-    granularity = resolve_granularity(pipeline, machine, config)
-    models = _build_node_models(pipeline, machine, overhead, granularity)
-    consumer_step = config.consumer.step_seconds_per_element
-    epochs = config.epochs if config.epochs is not None else _pipeline_epochs(pipeline)
-
-    has_cache = any(isinstance(m.node, CacheNode) for m in models)
+    config = prepared.config
+    models = prepared.models
+    granularity = prepared.granularity
+    consumer_step = prepared.consumer_step
+    epochs = prepared.epochs
+    has_cache = prepared.has_cache
     x_fill = _equilibrium_rate(models, machine, consumer_step, serving=False)
     if has_cache and epochs > 1:
         x_serve = _equilibrium_rate(models, machine, consumer_step, serving=True)

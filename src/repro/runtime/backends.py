@@ -14,10 +14,16 @@ quality/latency tradeoff the caller picks per job:
   (:func:`repro.runtime.analytic.analytic_trace`). O(nodes) per trace
   regardless of element rate; exact for steady-state rate accounting,
   approximate for queueing transients.
+* ``"adaptive"`` — a *policy* backend
+  (:class:`repro.runtime.adaptive.AdaptiveBackend`): analytic first,
+  discrete-event simulation when the analytic bottleneck attribution is
+  ambiguous or degenerate. Each emitted trace records which underlying
+  backend produced it.
 
 ``resolve_backend`` accepts a name or any object implementing the
-:class:`TraceBackend` protocol, so callers can inject custom backends
-(e.g. replaying recorded traces) without touching this registry.
+:class:`TraceBackend` protocol, and :func:`register_backend` adds new
+named backends, so callers can inject custom acquisition methods (e.g.
+replaying recorded traces) without touching this module.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.graph.datasets import Pipeline
 from repro.host.machine import Machine
+from repro.runtime.adaptive import AdaptiveBackend
 from repro.runtime.analytic import analytic_trace
 from repro.runtime.executor import RunConfig, run_pipeline
 
@@ -74,6 +81,7 @@ class AnalyticBackend:
 _BACKENDS: Dict[str, TraceBackend] = {
     "simulate": SimulateBackend(),
     "analytic": AnalyticBackend(),
+    "adaptive": AdaptiveBackend(),
 }
 
 #: the spec types ``resolve_backend`` accepts
@@ -83,6 +91,28 @@ BackendSpec = Union[str, TraceBackend, None]
 def available_backends() -> tuple:
     """Registered backend names."""
     return tuple(sorted(_BACKENDS))
+
+
+def register_backend(backend: TraceBackend, replace: bool = False) -> None:
+    """Register a backend under its ``name`` for lookup by string.
+
+    Named registration is what lets a backend travel to worker
+    processes in the batch service's serialized job payloads.
+    Re-registering an existing name raises unless ``replace=True``.
+    """
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise TypeError(
+            "a trace backend must expose a non-empty string `name`"
+        )
+    if not isinstance(backend, TraceBackend):
+        raise TypeError(f"backend {name!r} must implement trace(...)")
+    if name in _BACKENDS and not replace:
+        raise ValueError(
+            f"trace backend {name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _BACKENDS[name] = backend
 
 
 def resolve_backend(spec: BackendSpec) -> TraceBackend:

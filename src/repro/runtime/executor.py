@@ -165,6 +165,30 @@ def _granularity_floor(pipeline: Pipeline) -> int:
     return int(min(64, max(1, batch // 8)))
 
 
+def _fill_regime_prediction(
+    pipeline: Pipeline, machine: Machine, consumer_step_seconds: float
+):
+    """Steady-state rate prediction for granularity sizing.
+
+    GUARD (regression from the analytic-backend work): chunk sizing MUST
+    use the fill/populate regime (``cached=False``). A pipeline that
+    gained a cache serves at the cached suffix's (much faster) rate, and
+    sizing chunks for that rate makes them so coarse the populate pass
+    cannot push a single chunk through the whole chain within the trace
+    window — the trace then reports throughput 0 and the optimizer
+    concludes the optimized pipeline got *slower*. This helper is the
+    single place granularity prediction happens, so the invariant cannot
+    be lost to a refactor of one call site.
+    """
+    from repro.analysis.steady_state import predict_throughput
+
+    return predict_throughput(
+        pipeline, machine,
+        consumer_step_seconds=consumer_step_seconds,
+        cached=False,
+    )
+
+
 def auto_granularity(
     pipeline: Pipeline,
     machine: Machine,
@@ -184,18 +208,10 @@ def auto_granularity(
     automatically, while low-rate vision pipelines keep the legacy
     batch-size heuristic as a floor (identical behaviour to before).
     """
-    from repro.analysis.steady_state import predict_throughput
-
     floor = _granularity_floor(pipeline)
     try:
-        # ``cached=False``: granularity must suit the *fill/populate*
-        # regime too — sizing chunks for a cache's (much faster) serve
-        # rate would make them so coarse the populate pass cannot push
-        # a single chunk through the pipe within the trace window.
-        prediction = predict_throughput(
-            pipeline, machine,
-            consumer_step_seconds=consumer_step_seconds,
-            cached=False,
+        prediction = _fill_regime_prediction(
+            pipeline, machine, consumer_step_seconds
         )
     except (ValueError, KeyError):  # unmodellable structure: keep floor
         return floor

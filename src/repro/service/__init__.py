@@ -7,6 +7,7 @@ identical jobs through a signature-keyed result cache and aggregating a
 cache hit rate).
 """
 
+from repro.core.spec import OptimizeSpec
 from repro.service.batch import (
     BatchOptimizer,
     FleetOptimizationReport,
@@ -19,4 +20,5 @@ __all__ = [
     "FleetOptimizationReport",
     "JobResult",
     "OptimizationJob",
+    "OptimizeSpec",
 ]

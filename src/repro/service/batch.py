@@ -8,30 +8,41 @@ the trace→analyze→optimize loop to a *fleet* of named pipelines:
   :mod:`concurrent.futures` worker pool (threads, processes, or inline),
 * a **signature-keyed result cache** collapses structurally identical
   jobs — production fleets re-launch the same training program
-  constantly — so each distinct (pipeline, machine, optimizer config) is
+  constantly — so each distinct (pipeline, machine, optimizer spec) is
   optimized exactly once,
 * results travel between processes as serialized pipeline programs
   (:mod:`repro.graph.serialize`: "all Plumber traces are also valid
-  programs"), keyed by :func:`repro.graph.signature.structural_signature`
-  and :meth:`repro.host.machine.Machine.fingerprint`,
+  programs"), keyed by :func:`repro.graph.signature.structural_signature`,
+  :meth:`repro.host.machine.Machine.fingerprint`, and
+  :meth:`repro.core.spec.OptimizeSpec.cache_token`,
 * a :class:`FleetOptimizationReport` aggregates per-job speedups, the
   bottleneck histogram, and the cache hit rate, reusing the fleet
   analysis helpers and the plain-text table renderer.
 
+One :class:`~repro.core.spec.OptimizeSpec` is the whole optimizer
+configuration: the service holds a default spec, each job may carry its
+own, and the effective per-job spec is both the worker payload and the
+cache identity — an analytic trace can never masquerade as a simulated
+one, and two jobs share work iff nothing that could change the result
+differs.
+
 The simulator is deterministic, so a worker-pool run is bit-identical to
-optimizing each job serially with the same :class:`Plumber` settings —
-tested, and the property that makes result caching sound.
+optimizing each job serially with the same spec — tested, and the
+property that makes result caching sound.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import format_table
-from repro.core.plumber import DEFAULT_PASSES, Plumber
+from repro.core.passes import resolve_passes
+from repro.core.plumber import Plumber
+from repro.core.spec import OptimizeSpec
 from repro.fleet.analysis import (
     SpeedupStats,
     bottleneck_histogram,
@@ -49,17 +60,37 @@ from repro.util import canonical_hash
 class OptimizationJob:
     """One named unit of work for the batch service.
 
-    ``granularity`` and ``backend`` override the service-wide trace
-    settings for this job only (``None`` = inherit). A µs-cost NLP job
-    can run coarse-chunked or fully analytic while the rest of the
-    fleet keeps the default simulator.
+    ``spec`` overrides the service-wide :class:`OptimizeSpec` for this
+    job only (``None`` = inherit): a µs-cost NLP job can run coarse-
+    chunked or fully analytic while the rest of the fleet keeps the
+    default simulator.
+
+    ``granularity`` and ``backend`` are the pre-spec loose knobs, kept
+    as deprecated shims: when set they are folded into the effective
+    spec (on top of ``spec`` or the service default) and a
+    ``DeprecationWarning`` is emitted. Use
+    ``spec=service.spec.replace(backend=...)`` instead.
     """
 
+    # Field order keeps the pre-spec positional surface intact:
+    # OptimizationJob(name, pipeline, machine, granularity, backend)
+    # constructs exactly as before, with `spec` keyword-position last.
     name: str
     pipeline: Pipeline
     machine: Machine
     granularity: Optional[int] = None
     backend: Optional[str] = None
+    spec: Optional[OptimizeSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.granularity is not None or self.backend is not None:
+            warnings.warn(
+                "OptimizationJob.granularity/backend are deprecated; "
+                "carry a full OptimizeSpec via the `spec` field instead "
+                "(e.g. spec=OptimizeSpec(backend='analytic'))",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
 
 @dataclass(frozen=True)
@@ -178,16 +209,14 @@ def _optimize_serialized(payload: dict) -> dict:
 
     Both directions of the hop are serialized programs, so this function
     can execute in another process (or, in principle, another host)
-    without sharing any object graph with the caller.
+    without sharing any object graph with the caller. The spec travels
+    with the job: the worker-side Plumber is configured from exactly the
+    mapping the cache key hashed.
     """
     pipeline = pipeline_from_json(payload["pipeline"])
     machine = Machine.from_dict(payload["machine"])
-    plumber = Plumber(machine, **payload["plumber"])
-    result = plumber.optimize(
-        pipeline,
-        passes=tuple(payload["passes"]),
-        iterations=payload["iterations"],
-    )
+    spec = OptimizeSpec.from_dict(payload["spec"])
+    result = Plumber(machine, spec=spec).optimize(pipeline)
     return {
         "pipeline": pipeline_to_json(result.pipeline),
         "decisions": list(result.decisions),
@@ -214,17 +243,17 @@ class BatchOptimizer:
         does the heavy lifting on fleets with duplicate structure.
     max_workers:
         Pool width (ignored for ``"serial"``).
-    passes / iterations / trace_duration / trace_warmup / granularity:
-        Forwarded to :class:`~repro.core.plumber.Plumber` — every job in
-        the fleet is optimized with the same settings, which is part of
-        the cache key.
+    spec:
+        The service-wide :class:`~repro.core.spec.OptimizeSpec`. Every
+        job is optimized with this spec unless it carries its own; the
+        effective per-job spec is part of that job's cache key. The
+        spec's ``passes`` and ``backend`` must be registry *names* (they
+        travel to worker processes as JSON).
+    passes / iterations / trace_duration / trace_warmup / granularity /
     backend / event_budget:
-        Service-wide trace backend (a registered name — it must survive
-        the serialized hop to worker processes) and simulation event
-        budget. Jobs can override the backend and granularity per-job
-        (see :class:`OptimizationJob`); the effective per-job settings
-        are part of that job's cache key, so an analytic trace never
-        masquerades as a simulated one.
+        Convenience overrides: each non-None value replaces the
+        corresponding field of ``spec`` (or of a default spec when none
+        is given), mirroring the old keyword surface.
     """
 
     def __init__(
@@ -232,76 +261,112 @@ class BatchOptimizer:
         machine: Optional[Machine] = None,
         executor: str = "thread",
         max_workers: Optional[int] = None,
-        passes: Sequence[str] = DEFAULT_PASSES,
-        iterations: int = 2,
-        trace_duration: float = 3.0,
-        trace_warmup: float = 0.5,
+        passes: Optional[Sequence[str]] = None,
+        iterations: Optional[int] = None,
+        trace_duration: Optional[float] = None,
+        trace_warmup: Optional[float] = None,
         granularity: Optional[int] = None,
-        backend: str = "simulate",
+        backend: Optional[str] = None,
         event_budget: Optional[int] = None,
+        spec: Optional[OptimizeSpec] = None,
     ) -> None:
         if executor not in ("serial", "thread", "process"):
             raise ValueError(
                 f"executor must be serial/thread/process, got {executor!r}"
             )
-        if not isinstance(backend, str):
-            raise TypeError(
-                "service backend must be a registered backend name "
-                "(it travels to worker processes as part of the payload)"
-            )
-        resolve_backend(backend)  # fail fast on unknown names
+        base = spec if spec is not None else OptimizeSpec()
         self.machine = machine
         self.executor = executor
         self.max_workers = max_workers
-        self.passes = tuple(passes)
-        self.iterations = iterations
-        self.plumber_config = {
-            "trace_duration": trace_duration,
-            "trace_warmup": trace_warmup,
-            "granularity": granularity,
-            "backend": backend,
-            "event_budget": event_budget,
-        }
+        self.spec = base.with_overrides(
+            passes=passes,
+            iterations=iterations,
+            trace_duration=trace_duration,
+            trace_warmup=trace_warmup,
+            granularity=granularity,
+            backend=backend,
+            event_budget=event_budget,
+        )
+        self._validate_spec(self.spec, "service")
         #: persistent signature-keyed result cache (survives across
         #: optimize_fleet calls on this instance)
         self._cache: Dict[str, dict] = {}
 
+    # -- legacy attribute mirrors --------------------------------------
+    @property
+    def passes(self) -> Tuple[str, ...]:
+        return self.spec.passes
+
+    @property
+    def iterations(self) -> int:
+        return self.spec.iterations
+
     # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_spec(spec: OptimizeSpec, owner: str) -> None:
+        """Service specs must serialize: named backend + named passes.
+
+        Both names are resolved here so an unknown name fails at
+        construction/submission time with the owner's context, not deep
+        inside a worker pool.
+        """
+        if not isinstance(spec.backend, str):
+            raise TypeError(
+                f"{owner} backend must be a registered backend name "
+                "(it travels to worker processes as part of the payload)"
+            )
+        resolve_backend(spec.backend)  # fail fast on unknown names
+        for p in spec.passes:
+            if not isinstance(p, str):
+                raise TypeError(
+                    f"{owner} passes must be registered pass names "
+                    "(they travel to worker processes as part of the "
+                    "payload)"
+                )
+        resolve_passes(spec.passes)  # fail fast on unknown names
+
     def _normalize(
         self,
         jobs: Union[Mapping[str, Pipeline], Sequence],
-    ) -> List[OptimizationJob]:
+    ) -> List[Tuple[OptimizationJob, OptimizeSpec]]:
         """Accept ``{name: pipeline}`` mappings, ``(name, pipeline[,
         machine[, granularity[, backend]]])`` tuples, or objects with
-        name/pipeline/machine (and optionally granularity/backend)
-        attributes — e.g. :class:`repro.fleet.generator.FleetPipeline`."""
-        normalized: List[OptimizationJob] = []
+        name/pipeline/machine (and optionally spec/granularity/backend)
+        attributes — e.g. :class:`repro.fleet.generator.FleetPipeline`.
+
+        Returns each job paired with its *effective* spec: the job's own
+        spec (or the service default) with any loose granularity/backend
+        overrides folded in.
+        """
         if isinstance(jobs, Mapping):
-            items = [(name, pipe, None, None, None) for name, pipe in jobs.items()]
+            items = [
+                (name, pipe, None, None, None, None)
+                for name, pipe in jobs.items()
+            ]
         else:
             items = []
             for entry in jobs:
-                if isinstance(entry, OptimizationJob):
-                    items.append((entry.name, entry.pipeline, entry.machine,
-                                  entry.granularity, entry.backend))
-                elif isinstance(entry, tuple):
+                if isinstance(entry, tuple):
                     if not 2 <= len(entry) <= 5:
                         raise ValueError(
                             "job tuples are (name, pipeline[, machine"
                             f"[, granularity[, backend]]]), got {len(entry)} "
                             "elements"
                         )
-                    items.append(tuple(entry) + (None,) * (5 - len(entry)))
+                    name, pipe, *rest = entry + (None,) * (5 - len(entry))
+                    items.append((name, pipe, rest[0], None, rest[1], rest[2]))
                 else:
                     items.append((
                         entry.name,
                         entry.pipeline,
                         getattr(entry, "machine", None),
+                        getattr(entry, "spec", None),
                         getattr(entry, "granularity", None),
                         getattr(entry, "backend", None),
                     ))
         seen: set = set()
-        for name, pipe, mach, granularity, backend in items:
+        normalized: List[Tuple[OptimizationJob, OptimizeSpec]] = []
+        for name, pipe, mach, job_spec, granularity, backend in items:
             if name in seen:
                 raise ValueError(f"duplicate job name {name!r}")
             seen.add(name)
@@ -311,40 +376,34 @@ class BatchOptimizer:
                     f"job {name!r} has no machine and the service has no "
                     "default machine"
                 )
-            if backend is not None:
-                if not isinstance(backend, str):
-                    raise TypeError(
-                        f"job {name!r}: per-job backend must be a "
-                        "registered backend name"
-                    )
-                resolve_backend(backend)
-            if granularity is not None and granularity < 1:
-                raise ValueError(
-                    f"job {name!r}: granularity must be >= 1, "
-                    f"got {granularity}"
+            if backend is not None and not isinstance(backend, str):
+                raise TypeError(
+                    f"job {name!r}: per-job backend must be a "
+                    "registered backend name"
                 )
+            spec = job_spec if job_spec is not None else self.spec
+            try:
+                spec = spec.with_overrides(granularity=granularity,
+                                           backend=backend)
+            except ValueError as exc:
+                raise ValueError(f"job {name!r}: {exc}") from None
+            try:
+                self._validate_spec(spec, f"job {name!r}")
+            except ValueError as exc:
+                raise ValueError(f"job {name!r}: {exc}") from None
             normalized.append(
-                OptimizationJob(name, pipe, machine, granularity, backend)
+                (OptimizationJob(name, pipe, machine, spec=spec), spec)
             )
         return normalized
 
-    def _job_plumber_config(self, job: OptimizationJob) -> dict:
-        """Service-wide Plumber settings with this job's overrides."""
-        config = dict(self.plumber_config)
-        if job.granularity is not None:
-            config["granularity"] = job.granularity
-        if job.backend is not None:
-            config["backend"] = job.backend
-        return config
-
     def _cache_key(self, signature: str, machine: Machine,
-                   plumber_config: dict) -> str:
+                   spec: OptimizeSpec) -> str:
+        """One result-cache identity: what was optimized (structural
+        signature), where (machine fingerprint), and how (the spec)."""
         return canonical_hash({
             "signature": signature,
             "machine": machine.fingerprint(),
-            "passes": list(self.passes),
-            "iterations": self.iterations,
-            "plumber": plumber_config,
+            "spec": spec.cache_token(),
         })
 
     def _make_pool(self) -> Optional[Executor]:
@@ -362,40 +421,35 @@ class BatchOptimizer:
         """Optimize every job, deduplicating by structural signature.
 
         Jobs whose (pipeline signature, machine fingerprint, optimizer
-        config) key was already optimized — in this call *or* any earlier
+        spec) key was already optimized — in this call *or* any earlier
         call on this instance — reuse the cached result and are reported
         as cache hits. Distinct keys run concurrently on the worker pool;
         per-job results are identical to serial ``Plumber.optimize``.
         """
         work = self._normalize(jobs)
-        keyed: List[Tuple[OptimizationJob, str, str, dict]] = []
+        keyed: List[Tuple[OptimizationJob, str, str, OptimizeSpec]] = []
         # Fleet jobs stamped from one template share the Pipeline object;
         # hash each distinct object once, not once per job.
         sig_by_id: Dict[int, str] = {}
-        for job in work:
+        for job, spec in work:
             sig = sig_by_id.get(id(job.pipeline))
             if sig is None:
                 sig = structural_signature(job.pipeline)
                 sig_by_id[id(job.pipeline)] = sig
-            plumber_config = self._job_plumber_config(job)
             keyed.append((
-                job, sig,
-                self._cache_key(sig, job.machine, plumber_config),
-                plumber_config,
+                job, sig, self._cache_key(sig, job.machine, spec), spec,
             ))
 
         # First occurrence of each uncached key becomes a pool task. The
-        # payload carries the exact plumber config the cache key hashed.
+        # payload carries the exact spec the cache key hashed.
         pending: Dict[str, dict] = {}
-        for job, _sig, key, plumber_config in keyed:
+        for job, _sig, key, spec in keyed:
             if key in self._cache or key in pending:
                 continue
             pending[key] = {
                 "pipeline": pipeline_to_json(job.pipeline),
                 "machine": job.machine.to_dict(),
-                "plumber": plumber_config,
-                "passes": list(self.passes),
-                "iterations": self.iterations,
+                "spec": spec.to_dict(),
             }
 
         if pending:
@@ -415,7 +469,7 @@ class BatchOptimizer:
         results: List[JobResult] = []
         hits = misses = 0
         fresh = set(pending)
-        for job, sig, key, _plumber_config in keyed:
+        for job, sig, key, _spec in keyed:
             cached = self._cache[key]
             is_hit = key not in fresh
             if is_hit:
@@ -441,7 +495,9 @@ class BatchOptimizer:
         )
 
     def optimize_one(self, name: str, pipeline: Pipeline,
-                     machine: Optional[Machine] = None) -> JobResult:
+                     machine: Optional[Machine] = None,
+                     spec: Optional[OptimizeSpec] = None) -> JobResult:
         """Optimize a single named pipeline through the same cache."""
-        job = [(name, pipeline, machine)] if machine else [(name, pipeline)]
-        return self.optimize_fleet(job).jobs[0]
+        job = OptimizationJob(name, pipeline, machine or self.machine,
+                              spec=spec)
+        return self.optimize_fleet([job]).jobs[0]

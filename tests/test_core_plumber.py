@@ -67,6 +67,30 @@ class TestOptimize:
         )
         assert result.model.observed_throughput > 0
 
+    def test_one_liner_accepts_spec(self, small_catalog, test_machine):
+        from repro.core.spec import OptimizeSpec
+
+        result = optimize_pipeline(
+            two_stage_pipeline(small_catalog), test_machine,
+            spec=OptimizeSpec(iterations=1, backend="analytic",
+                              trace_duration=1.0, trace_warmup=0.25),
+        )
+        assert result.model.observed_throughput > 0
+
+
+class TestTrace:
+    def test_trace_accepts_explicit_trace_flag(self, small_catalog,
+                                               plumber):
+        """Regression: ``trace=`` in **overrides used to collide with
+        the hardcoded ``trace=True`` keyword (TypeError)."""
+        pipe = two_stage_pipeline(small_catalog)
+        untraced = plumber.trace(pipe, trace=False)
+        traced = plumber.trace(pipe, trace=True)
+        assert untraced.root_throughput > 0
+        # tracer_overhead is only charged when tracing is on, so the
+        # flag observably reached RunConfig.
+        assert untraced.root_throughput >= traced.root_throughput
+
 
 class TestPickBest:
     def test_picks_faster_variant(self, small_catalog, plumber):
@@ -91,6 +115,32 @@ class TestPickBest:
     def test_requires_variants(self, plumber):
         with pytest.raises(ValueError):
             plumber.pick_best({})
+
+    def test_tie_broken_by_name_regardless_of_order(self, small_catalog,
+                                                    plumber):
+        """Identical variants tie on throughput; the winner must be the
+        lexicographically smallest name, not whichever was inserted
+        first."""
+        def build(name):
+            return (
+                from_tfrecords(small_catalog, parallelism=1, name="src")
+                .map(make_udf("op", cpu=1e-4), parallelism=1, name="m")
+                .batch(16, name="b")
+                .repeat(None, name="r")
+                .build(name)
+            )
+
+        forward = plumber.pick_best(
+            {"alpha": build("alpha"), "beta": build("beta")},
+            passes=("parallelism",), iterations=1,
+        )
+        backward = plumber.pick_best(
+            {"beta": build("beta"), "alpha": build("alpha")},
+            passes=("parallelism",), iterations=1,
+        )
+        assert forward.scores["alpha"] == forward.scores["beta"]
+        assert forward.winner == "alpha"
+        assert backward.winner == "alpha"
 
 
 class TestOptimizeDecorator:

@@ -1,0 +1,264 @@
+"""Tests for OptimizeSpec: validation, serialization, cache identity."""
+
+import pytest
+
+from repro.core.spec import DEFAULT_PASSES, OptimizeSpec
+from repro.service import BatchOptimizer, OptimizationJob
+from tests.test_service import small_pipeline
+
+
+class TestValidation:
+    def test_defaults_match_legacy_plumber_defaults(self):
+        spec = OptimizeSpec()
+        assert spec.passes == DEFAULT_PASSES
+        assert spec.iterations == 2
+        assert spec.backend == "simulate"
+        assert spec.trace_duration == 3.0
+        assert spec.trace_warmup == 0.5
+
+    @pytest.mark.parametrize("bad", [
+        dict(iterations=0),
+        dict(granularity=0),
+        dict(event_budget=0),
+        dict(trace_duration=0.0),
+        dict(trace_warmup=-0.1),
+        dict(trace_duration=1.0, trace_warmup=1.0),
+        dict(memory_bytes=0.0),
+    ])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            OptimizeSpec(**bad)
+
+    def test_passes_coerced_to_tuple(self):
+        spec = OptimizeSpec(passes=["parallelism", "cache"])
+        assert spec.passes == ("parallelism", "cache")
+
+    def test_replace_revalidates(self):
+        spec = OptimizeSpec()
+        with pytest.raises(ValueError, match="iterations"):
+            spec.replace(iterations=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            OptimizeSpec().iterations = 3
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = OptimizeSpec(
+            passes=("fuse", "parallelism"), iterations=3,
+            backend="analytic", granularity=4, event_budget=10_000,
+            trace_duration=2.0, trace_warmup=0.25, memory_bytes=1e9,
+            allocate_remaining=False,
+        )
+        assert OptimizeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_cache_token_is_json_compatible(self):
+        import json
+
+        token = OptimizeSpec().cache_token()
+        assert json.loads(json.dumps(token, sort_keys=True)) == token
+
+    def test_every_field_changes_the_token(self):
+        base = OptimizeSpec()
+        variants = [
+            base.replace(passes=("parallelism",)),
+            base.replace(iterations=1),
+            base.replace(backend="analytic"),
+            base.replace(granularity=4),
+            base.replace(event_budget=10_000),
+            base.replace(trace_duration=2.0),
+            base.replace(trace_warmup=0.25),
+            base.replace(memory_bytes=1e9),
+            base.replace(allocate_remaining=False),
+        ]
+        tokens = [str(sorted(v.cache_token().items())) for v in variants]
+        tokens.append(str(sorted(base.cache_token().items())))
+        assert len(set(tokens)) == len(tokens)
+
+    def test_object_backend_has_no_token(self):
+        class Fake:
+            name = "fake"
+
+            def trace(self, pipeline, machine, config):
+                raise NotImplementedError
+
+        spec = OptimizeSpec(backend=Fake())
+        assert spec.backend_name == "fake"
+        with pytest.raises(TypeError, match="backend object"):
+            spec.cache_token()
+
+    def test_object_pass_has_no_token(self):
+        class Fake:
+            name = "fake_pass"
+
+            def plan(self, ctx):
+                return []
+
+        with pytest.raises(TypeError, match="pass objects"):
+            OptimizeSpec(passes=(Fake(),)).cache_token()
+
+
+class TestServiceCacheIdentity:
+    """Distinct specs must never share service cache entries."""
+
+    def _svc(self, test_machine, **kwargs):
+        return BatchOptimizer(machine=test_machine, executor="serial",
+                              **kwargs)
+
+    def test_spec_flows_to_cache_key(self, small_catalog, test_machine):
+        pipe = small_pipeline(small_catalog)
+        base = OptimizeSpec(iterations=1, trace_duration=1.0,
+                            trace_warmup=0.25, backend="analytic")
+        svc = self._svc(test_machine, spec=base)
+        report = svc.optimize_fleet([
+            OptimizationJob("a", pipe, test_machine),
+            OptimizationJob("b", pipe, test_machine,
+                            spec=base.replace(event_budget=10_000)),
+            OptimizationJob("c", pipe, test_machine,
+                            spec=base.replace(trace_duration=2.0)),
+            OptimizationJob("d", pipe, test_machine, spec=base),
+        ])
+        # a and d share the service spec; b and c differ in one field.
+        assert report.cache_misses == 3
+        assert report.cache_hits == 1
+        assert report.job("d").cache_hit
+
+    def test_per_job_spec_honoured_in_worker(self, small_catalog,
+                                             test_machine):
+        from repro.core.plumber import Plumber
+
+        pipe = small_pipeline(small_catalog)
+        job_spec = OptimizeSpec(iterations=1, trace_duration=1.0,
+                                trace_warmup=0.25, backend="analytic",
+                                passes=("parallelism",))
+        svc = self._svc(test_machine)  # service default: simulate, 2 iters
+        got = svc.optimize_fleet(
+            [OptimizationJob("solo", pipe, test_machine, spec=job_spec)]
+        ).jobs[0]
+        serial = Plumber(test_machine, spec=job_spec).optimize(pipe)
+        assert got.decisions == tuple(serial.decisions)
+        assert got.optimized_throughput == pytest.approx(
+            serial.model.observed_throughput
+        )
+
+    def test_legacy_positional_construction_still_works(self, small_catalog,
+                                                        test_machine):
+        """Pre-spec callers built jobs positionally as (name, pipeline,
+        machine, granularity, backend); the new `spec` field must not
+        shift that surface."""
+        pipe = small_pipeline(small_catalog)
+        with pytest.warns(DeprecationWarning):
+            job = OptimizationJob("j", pipe, test_machine, 8, "analytic")
+        assert job.granularity == 8
+        assert job.backend == "analytic"
+        assert job.spec is None
+
+    def test_deprecated_fields_warn_and_fold_into_spec(self, small_catalog,
+                                                       test_machine):
+        pipe = small_pipeline(small_catalog)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = OptimizationJob("legacy", pipe, test_machine,
+                                     backend="analytic", granularity=8)
+        svc = self._svc(test_machine, iterations=1, trace_duration=1.0,
+                        trace_warmup=0.25)
+        modern = OptimizationJob(
+            "modern", pipe, test_machine,
+            spec=svc.spec.replace(backend="analytic", granularity=8),
+        )
+        report = svc.optimize_fleet([legacy, modern])
+        # Identical effective specs: the legacy job's folded identity
+        # matches the spec-first job, so the second is a cache hit.
+        assert report.cache_misses == 1
+        assert report.cache_hits == 1
+
+    def test_spec_with_pass_objects_rejected_by_service(self,
+                                                        small_catalog,
+                                                        test_machine):
+        class Fake:
+            name = "fake_pass"
+
+            def plan(self, ctx):
+                return []
+
+        with pytest.raises(TypeError, match="pass names"):
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=OptimizeSpec(passes=(Fake(),)))
+
+    def test_unknown_pass_name_fails_at_construction(self, test_machine):
+        """Fail fast with context, not deep inside a worker pool."""
+        with pytest.raises(ValueError, match="unknown optimizer passes"):
+            self._svc(test_machine, spec=OptimizeSpec(passes=("magic",)))
+
+    def test_unknown_per_job_pass_fails_at_submission(self, small_catalog,
+                                                      test_machine):
+        svc = self._svc(test_machine)
+        job = OptimizationJob(
+            "bad", small_pipeline(small_catalog), test_machine,
+            spec=OptimizeSpec(passes=("magic",)),
+        )
+        with pytest.raises(ValueError, match="unknown optimizer passes"):
+            svc.optimize_fleet([job])
+
+
+class TestPlumberSpec:
+    def test_spec_and_legacy_kwargs_equivalent(self, small_catalog,
+                                               test_machine):
+        from repro.core.plumber import Plumber
+        from tests.test_core_lp import two_stage_pipeline
+
+        pipe = two_stage_pipeline(small_catalog)
+        legacy = Plumber(test_machine, trace_duration=1.5, trace_warmup=0.3,
+                         backend="analytic").optimize(pipe, iterations=1)
+        spec = OptimizeSpec(trace_duration=1.5, trace_warmup=0.3,
+                            backend="analytic", iterations=1)
+        modern = Plumber(test_machine, spec=spec).optimize(pipe)
+        assert modern.decisions == legacy.decisions
+        assert modern.model.observed_throughput == pytest.approx(
+            legacy.model.observed_throughput
+        )
+
+    def test_call_level_spec_governs_trace_acquisition(self, small_catalog,
+                                                       test_machine):
+        """Regression: a per-call ``spec=`` must drive the trace backend
+        and window too, not just pass selection — identical results to
+        constructing the Plumber with that spec."""
+        from repro.core.plumber import Plumber
+        from tests.test_core_lp import two_stage_pipeline
+
+        pipe = two_stage_pipeline(small_catalog)
+        spec = OptimizeSpec(iterations=1, backend="analytic",
+                            trace_duration=1.0, trace_warmup=0.25)
+        per_call = Plumber(test_machine).optimize(pipe, spec=spec)
+        per_instance = Plumber(test_machine, spec=spec).optimize(pipe)
+        assert per_call.decisions == per_instance.decisions
+        assert per_call.model.observed_throughput == pytest.approx(
+            per_instance.model.observed_throughput
+        )
+        # The analytic backend stamps its traces; a simulate-window trace
+        # would differ in measured_seconds.
+        assert per_call.model.trace.backend == "analytic"
+        assert per_call.model.trace.measured_seconds == pytest.approx(0.75)
+
+    def test_legacy_kwargs_override_spec(self, test_machine):
+        from repro.core.plumber import Plumber
+
+        spec = OptimizeSpec(backend="simulate", trace_duration=9.0)
+        plumber = Plumber(test_machine, spec=spec, backend="analytic",
+                          trace_duration=1.0)
+        assert plumber.backend.name == "analytic"
+        assert plumber.trace_duration == 1.0
+        assert plumber.trace_warmup == spec.trace_warmup  # inherited
+
+    def test_memory_bytes_caps_cache_planning(self, small_catalog,
+                                              test_machine):
+        """A tiny memory ceiling suppresses the cache pass entirely."""
+        from repro.core.plumber import Plumber
+        from tests.test_core_lp import two_stage_pipeline
+
+        pipe = two_stage_pipeline(small_catalog)
+        spec = OptimizeSpec(trace_duration=1.0, trace_warmup=0.25,
+                            backend="analytic", iterations=1,
+                            memory_bytes=1024.0)
+        result = Plumber(test_machine, spec=spec).optimize(pipe)
+        assert result.cache is None

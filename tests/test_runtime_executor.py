@@ -82,6 +82,69 @@ class TestAutoGranularity:
                                  consumer_step_seconds=0.1)
         assert bound <= free
 
+    def test_sizing_uses_fill_regime_prediction(
+        self, small_catalog, test_machine, monkeypatch
+    ):
+        """Guard: chunk sizing must predict with ``cached=False``.
+
+        Sizing for a cache's (much faster) serve rate makes chunks so
+        coarse the populate pass cannot push one through the chain
+        within the trace window — the known throughput-0 failure mode
+        on optimized pipelines that gained a cache."""
+        import repro.analysis.steady_state as steady_state
+        import repro.runtime.executor as executor_mod
+
+        seen = {}
+        original = steady_state.predict_throughput
+
+        def spy(pipeline, machine, consumer_step_seconds=0.0, cached=True):
+            seen["cached"] = cached
+            return original(pipeline, machine,
+                            consumer_step_seconds=consumer_step_seconds,
+                            cached=cached)
+
+        monkeypatch.setattr(steady_state, "predict_throughput", spy)
+        cached_pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("op", cpu=1e-6), parallelism=2, name="m")
+            .batch(16, name="b")
+            .cache(name="cache")
+            .repeat(None, name="r")
+            .build("cached")
+        )
+        executor_mod.auto_granularity(cached_pipe, test_machine,
+                                      duration=3.0)
+        assert seen["cached"] is False
+
+    def test_optimized_cache_pipeline_traces_nonzero(
+        self, small_catalog, test_machine
+    ):
+        """End-to-end form of the same guard: after the optimizer
+        inserts a cache, auto-granularity traces (both backends) must
+        still observe forward progress."""
+        from repro.core.plumber import Plumber
+        from repro.core.rewriter import existing_cache
+        from repro.runtime.analytic import analytic_trace
+
+        pipe = (
+            from_tfrecords(small_catalog, parallelism=2, name="src")
+            .map(make_udf("op", cpu=1e-4), parallelism=2, name="m")
+            .batch(16, name="b")
+            .prefetch(4, name="pf")
+            .repeat(None, name="r")
+            .build("opt_cache")
+        )
+        plumber = Plumber(test_machine, trace_duration=3.0,
+                          trace_warmup=0.5)
+        result = plumber.optimize(pipe, iterations=1)
+        assert existing_cache(result.pipeline) is not None
+        sim = run_pipeline(result.pipeline, test_machine, duration=3.0,
+                           warmup=0.5)
+        ana = analytic_trace(result.pipeline, test_machine, duration=3.0,
+                             warmup=0.5)
+        assert sim.throughput > 0
+        assert ana.root_throughput > 0
+
     def test_budget_actually_bounds_wallclock(
         self, small_catalog, test_machine
     ):

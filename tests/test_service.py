@@ -301,6 +301,36 @@ class TestPerJobOverrides:
         assert all(j.backend == "analytic" for j in jobs)
         assert all(j.granularity == 12 for j in jobs)  # domain wins
 
+    def test_fleet_config_stamps_optimize_spec(self):
+        from repro.core.spec import OptimizeSpec
+
+        spec = OptimizeSpec(iterations=1, backend="analytic")
+        jobs = generate_pipeline_fleet(
+            num_jobs=4, distinct=2, seed=7,
+            config=FleetConfig(
+                domain_weights={"vision": 1.0},
+                optimize_spec=spec,
+                domain_granularity={"vision": 12},
+            ),
+        )
+        # The domain granularity override folds into the stamped spec.
+        assert all(j.spec == spec.replace(granularity=12) for j in jobs)
+
+    def test_fleet_spec_flows_into_service(self, test_machine):
+        from repro.core.spec import OptimizeSpec
+
+        spec = OptimizeSpec(iterations=1, backend="analytic",
+                            trace_duration=1.0, trace_warmup=0.25)
+        jobs = generate_pipeline_fleet(
+            num_jobs=4, distinct=2, seed=7,
+            config=FleetConfig(domain_weights={"vision": 1.0},
+                               optimize_spec=spec),
+        )
+        svc = BatchOptimizer(executor="serial")  # defaults ignored: jobs
+        report = svc.optimize_fleet(jobs)        # carry their own spec
+        assert report.cache_misses == 2
+        assert all(j.optimized_throughput > 0 for j in report.jobs)
+
     def test_fleet_overrides_flow_into_service(self, test_machine):
         jobs = generate_pipeline_fleet(
             num_jobs=4, distinct=2, seed=7,
