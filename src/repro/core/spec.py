@@ -28,6 +28,14 @@ from typing import Optional, Tuple
 #: passes; resolved through the registry in :mod:`repro.core.passes`)
 DEFAULT_PASSES = ("parallelism", "prefetch", "cache")
 
+#: Version of the persisted result-store schema (the entry layout
+#: :mod:`repro.service.store` writes to disk *and* the worker result
+#: mapping it wraps). It is part of :meth:`OptimizeSpec.cache_token`, so
+#: bumping it invalidates every existing cache key at once — a disk
+#: store populated by an older schema can never serve an entry whose
+#: layout this code no longer understands.
+STORE_SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class OptimizeSpec:
@@ -143,6 +151,7 @@ class OptimizeSpec:
         """
         passes, backend = self._named_parts("cache token")
         return {
+            "schema": STORE_SCHEMA_VERSION,
             "passes": list(passes),
             "iterations": self.iterations,
             "backend": backend,

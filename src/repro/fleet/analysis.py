@@ -145,3 +145,28 @@ def bottleneck_histogram(bottlenecks: Iterable[str]) -> Dict[str, int]:
     *why* jobs were slow."""
     counts = Counter(bottlenecks)
     return dict(counts.most_common())
+
+
+def merged_cache_counts(
+    job_outcomes: Iterable[Tuple[str, bool]],
+) -> Tuple[int, int]:
+    """``(cache_hits, cache_misses)`` for a merged view of many runs.
+
+    ``job_outcomes`` is ``(cache_key, was_hit)`` per job, in any order.
+    Each distinct key counts as at most **one** miss fleet-wide: when the
+    same key was computed independently in two shards (or two service
+    processes), the duplicate computations are surplus — under one
+    global cache they would have been hits — so the merged hit-rate
+    arithmetic reports exactly one distinct optimization per key.
+    This is the single place that arithmetic lives;
+    :meth:`repro.service.FleetOptimizationReport.merge` delegates here.
+    """
+    seen_missed: set = set()
+    hits = misses = 0
+    for key, was_hit in job_outcomes:
+        if was_hit or key in seen_missed:
+            hits += 1
+        else:
+            seen_missed.add(key)
+            misses += 1
+    return hits, misses

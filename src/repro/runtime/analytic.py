@@ -513,6 +513,15 @@ def _trace_from(
     fill_hi = min(max(fill_end, pipe_fill), end)
     fill_overlap_root = x_fill * max(0.0, fill_hi - fill_lo)
     serve_overlap_root = max(0.0, root_in_window - fill_overlap_root)
+    # When the run never leaves the populate regime, the subtraction
+    # above can leave a ~1e-13 floating-point residue. Snap it to an
+    # exact zero: a residue times a serve-side CPU cost would otherwise
+    # give the cache node a ~1e-19 core-second charge and a finite
+    # ~1e20 rate-per-core — where the simulator records exactly zero
+    # and an infinite rate — feeding the LP a coefficient scale that
+    # HiGHS rejects outright.
+    if serve_overlap_root <= 1e-9 * max(root_in_window, 1.0):
+        serve_overlap_root = 0.0
 
     stats: Dict[str, NodeStats] = {}
     produced_by_name: Dict[str, float] = {}

@@ -1,10 +1,20 @@
-"""Fleet-scale batch optimization service.
+"""Fleet-scale optimization as a persistent service.
 
 ``BatchOptimizer`` runs the trace→analyze→optimize loop for a fleet of
 named pipelines across a worker pool, deduplicating structurally
-identical jobs through a signature-keyed result cache and aggregating a
+identical jobs through a signature-keyed result store and aggregating a
 :class:`FleetOptimizationReport` (per-job speedup, bottleneck histogram,
-cache hit rate).
+cache hit rate). Around it:
+
+* :mod:`repro.service.store` — pluggable result stores; ``DiskStore``
+  persists entries as atomic JSON files so the cache survives process
+  restarts.
+* :mod:`repro.service.daemon` — a long-running HTTP front-end
+  (``POST /optimize``, ``GET /jobs/<id>``, ``GET /report/<id>``,
+  ``GET /stats``) with per-lane admission control.
+* :mod:`repro.service.shard` — deterministic signature-hash sharding of
+  job batches across logical hosts, with per-shard reports merged into
+  one.
 """
 
 from repro.core.spec import OptimizeSpec
@@ -13,12 +23,30 @@ from repro.service.batch import (
     FleetOptimizationReport,
     JobResult,
     OptimizationJob,
+    merge_fleet_reports,
 )
+from repro.service.daemon import (
+    AdmissionController,
+    OptimizationDaemon,
+    job_lane,
+)
+from repro.service.shard import ShardedOptimizer, shard_fleet, shard_index
+from repro.service.store import DiskStore, InMemoryStore, ResultStore
 
 __all__ = [
+    "AdmissionController",
     "BatchOptimizer",
+    "DiskStore",
     "FleetOptimizationReport",
+    "InMemoryStore",
     "JobResult",
+    "OptimizationDaemon",
     "OptimizationJob",
     "OptimizeSpec",
+    "ResultStore",
+    "ShardedOptimizer",
+    "job_lane",
+    "merge_fleet_reports",
+    "shard_fleet",
+    "shard_index",
 ]

@@ -34,10 +34,12 @@ property that makes result caching sound.
 from __future__ import annotations
 
 import math
+import threading
+import time
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import format_table
 from repro.core.passes import resolve_passes
@@ -46,6 +48,7 @@ from repro.core.spec import OptimizeSpec
 from repro.fleet.analysis import (
     SpeedupStats,
     bottleneck_histogram,
+    merged_cache_counts,
     speedup_distribution,
 )
 from repro.graph.datasets import Pipeline
@@ -53,6 +56,7 @@ from repro.graph.serialize import pipeline_from_json, pipeline_to_json
 from repro.graph.signature import structural_signature
 from repro.host.machine import Machine
 from repro.runtime.backends import resolve_backend
+from repro.service.store import InMemoryStore, ResultStore
 from repro.util import canonical_hash
 
 
@@ -111,6 +115,13 @@ class JobResult:
     bottleneck: str
     decisions: Tuple[str, ...]
     pipeline_json: str
+    #: the full result-cache identity (signature + machine fingerprint +
+    #: spec token, hashed); shard-merge dedups distinct optimizations by
+    #: this, not the structural signature alone
+    cache_key: str = ""
+    #: the stored entry's provenance (producer backend, spec token,
+    #: caller-injected timestamp), when the store recorded one
+    provenance: Optional[dict] = None
 
     @property
     def speedup(self) -> float:
@@ -152,6 +163,28 @@ class FleetOptimizationReport:
             if j.name == name:
                 return j
         raise KeyError(f"no job named {name!r}")
+
+    @classmethod
+    def merge(
+        cls, reports: Iterable["FleetOptimizationReport"]
+    ) -> "FleetOptimizationReport":
+        """Merge per-shard reports into one fleet-wide report.
+
+        Jobs are concatenated in the given order. The cache arithmetic
+        is **deduplicated**, not summed: when the same cache key was a
+        miss in two shards (each shard computed it independently), the
+        merged report counts one distinct optimization and credits the
+        surplus computation as a hit — the hit rate a single global
+        cache would have reported. The dedup arithmetic lives in
+        :func:`repro.fleet.analysis.merged_cache_counts`.
+        """
+        jobs = [j for r in reports for j in r.jobs]
+        hits, misses = merged_cache_counts(
+            # Pre-store results may lack a cache_key; fall back to the
+            # structural signature, the dominant term of the key.
+            (j.cache_key or j.signature, j.cache_hit) for j in jobs
+        )
+        return cls(jobs=jobs, cache_hits=hits, cache_misses=misses)
 
     def speedups(self) -> SpeedupStats:
         """Distribution of per-job observed speedups."""
@@ -201,6 +234,13 @@ class FleetOptimizationReport:
                             title="Fleet optimization summary")
 
 
+def merge_fleet_reports(
+    reports: Iterable[FleetOptimizationReport],
+) -> FleetOptimizationReport:
+    """Module-level alias for :meth:`FleetOptimizationReport.merge`."""
+    return FleetOptimizationReport.merge(reports)
+
+
 # ----------------------------------------------------------------------
 # Worker entry point — module-level so process pools can pickle it.
 # ----------------------------------------------------------------------
@@ -224,6 +264,9 @@ def _optimize_serialized(payload: dict) -> dict:
         "baseline_throughput": result.baseline_throughput,
         "optimized_throughput": result.model.observed_throughput,
         "bottleneck": result.bottleneck,
+        # Which backend actually produced the final trace — for adaptive
+        # specs this records the routing outcome, e.g. "adaptive[analytic]".
+        "producer": getattr(result.model.trace, "backend", spec.backend_name),
     }
 
 
@@ -249,6 +292,18 @@ class BatchOptimizer:
         effective per-job spec is part of that job's cache key. The
         spec's ``passes`` and ``backend`` must be registry *names* (they
         travel to worker processes as JSON).
+    store:
+        Where keyed result entries live: any
+        :class:`~repro.service.store.ResultStore`. Defaults to a fresh
+        :class:`~repro.service.store.InMemoryStore` (the pre-store
+        behaviour). Pass a :class:`~repro.service.store.DiskStore` to
+        make results survive process restarts — a second service process
+        pointed at the same directory serves an unchanged fleet almost
+        entirely from cache.
+    clock:
+        Zero-argument callable stamping each stored entry's provenance
+        timestamp (``time.time`` by default). The caller injects it so
+        stores never reach for wall-clock themselves.
     passes / iterations / trace_duration / trace_warmup / granularity /
     backend / event_budget:
         Convenience overrides: each non-None value replaces the
@@ -269,6 +324,8 @@ class BatchOptimizer:
         backend: Optional[str] = None,
         event_budget: Optional[int] = None,
         spec: Optional[OptimizeSpec] = None,
+        store: Optional[ResultStore] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if executor not in ("serial", "thread", "process"):
             raise ValueError(
@@ -288,9 +345,18 @@ class BatchOptimizer:
             event_budget=event_budget,
         )
         self._validate_spec(self.spec, "service")
-        #: persistent signature-keyed result cache (survives across
-        #: optimize_fleet calls on this instance)
-        self._cache: Dict[str, dict] = {}
+        #: persistent signature-keyed result store (survives across
+        #: optimize_fleet calls on this instance; with a DiskStore, also
+        #: across processes)
+        self.store: ResultStore = store if store is not None else InMemoryStore()
+        self._clock: Callable[[], float] = clock if clock is not None else time.time
+        #: cumulative cache accounting across every call on this
+        #: instance (the daemon's /stats source); guarded by a lock —
+        #: the daemon drives one optimizer from several dispatcher
+        #: threads
+        self.total_cache_hits = 0
+        self.total_cache_misses = 0
+        self._stats_lock = threading.Lock()
 
     # -- legacy attribute mirrors --------------------------------------
     @property
@@ -421,10 +487,11 @@ class BatchOptimizer:
         """Optimize every job, deduplicating by structural signature.
 
         Jobs whose (pipeline signature, machine fingerprint, optimizer
-        spec) key was already optimized — in this call *or* any earlier
-        call on this instance — reuse the cached result and are reported
-        as cache hits. Distinct keys run concurrently on the worker pool;
-        per-job results are identical to serial ``Plumber.optimize``.
+        spec) key was already optimized — in this call, any earlier call
+        on this instance, or (with a persistent store) any earlier
+        *process* — reuse the stored result and are reported as cache
+        hits. Distinct keys run concurrently on the worker pool; per-job
+        results are identical to serial ``Plumber.optimize``.
         """
         work = self._normalize(jobs)
         keyed: List[Tuple[OptimizationJob, str, str, OptimizeSpec]] = []
@@ -440,11 +507,17 @@ class BatchOptimizer:
                 job, sig, self._cache_key(sig, job.machine, spec), spec,
             ))
 
-        # First occurrence of each uncached key becomes a pool task. The
-        # payload carries the exact spec the cache key hashed.
+        # Resolve each distinct key once: from the store when an intact
+        # entry exists, otherwise as a pool task. The payload carries the
+        # exact spec the cache key hashed.
+        entries: Dict[str, dict] = {}
         pending: Dict[str, dict] = {}
         for job, _sig, key, spec in keyed:
-            if key in self._cache or key in pending:
+            if key in entries or key in pending:
+                continue
+            entry = self.store.get(key)
+            if entry is not None and isinstance(entry.get("result"), dict):
+                entries[key] = entry
                 continue
             pending[key] = {
                 "pipeline": pipeline_to_json(job.pipeline),
@@ -455,22 +528,37 @@ class BatchOptimizer:
         if pending:
             pool = self._make_pool()
             if pool is None:
-                for key, payload in pending.items():
-                    self._cache[key] = _optimize_serialized(payload)
+                computed = {
+                    key: _optimize_serialized(payload)
+                    for key, payload in pending.items()
+                }
             else:
                 with pool:
                     futures = {
                         key: pool.submit(_optimize_serialized, payload)
                         for key, payload in pending.items()
                     }
-                    for key, future in futures.items():
-                        self._cache[key] = future.result()
+                    computed = {
+                        key: future.result()
+                        for key, future in futures.items()
+                    }
+            for key, result in computed.items():
+                entry = {
+                    "result": result,
+                    "provenance": {
+                        "producer": result.get("producer"),
+                        "spec": pending[key]["spec"],
+                        "created_at": self._clock(),
+                    },
+                }
+                self.store.put(key, entry)
+                entries[key] = entry
 
         results: List[JobResult] = []
         hits = misses = 0
         fresh = set(pending)
         for job, sig, key, _spec in keyed:
-            cached = self._cache[key]
+            cached = entries[key]["result"]
             is_hit = key not in fresh
             if is_hit:
                 hits += 1
@@ -488,11 +576,28 @@ class BatchOptimizer:
                     bottleneck=cached["bottleneck"],
                     decisions=tuple(cached["decisions"]),
                     pipeline_json=cached["pipeline"],
+                    cache_key=key,
+                    provenance=entries[key].get("provenance"),
                 )
             )
+        with self._stats_lock:
+            self.total_cache_hits += hits
+            self.total_cache_misses += misses
         return FleetOptimizationReport(
             jobs=results, cache_hits=hits, cache_misses=misses
         )
+
+    def stats(self) -> dict:
+        """Cumulative cache accounting across this instance's lifetime."""
+        with self._stats_lock:
+            hits, misses = self.total_cache_hits, self.total_cache_misses
+        total = hits + misses
+        return {
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / total if total else 0.0,
+            "store_entries": len(self.store),
+        }
 
     def optimize_one(self, name: str, pipeline: Pipeline,
                      machine: Optional[Machine] = None,

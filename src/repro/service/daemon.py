@@ -1,0 +1,553 @@
+"""Long-running HTTP front-end for the batch optimization service.
+
+The paper's premise is that pipeline optimization should be a cheap,
+repeatable *service*, not a one-off tuning session. This module turns
+:class:`~repro.service.batch.BatchOptimizer` into one: a stdlib
+``http.server`` daemon that accepts fleets (or single jobs) as
+serialized programs, runs them on the existing pool machinery in the
+background, and serves results and cache statistics over four
+endpoints:
+
+* ``POST /optimize`` — submit a batch. Body: ``{"jobs": [{"name",
+  "pipeline", "machine"?, "spec"?}, ...], "spec"?: {...}}`` where
+  ``pipeline`` is a serialized program
+  (:func:`repro.graph.serialize.pipeline_to_dict`), ``machine`` a
+  :meth:`~repro.host.machine.Machine.to_dict` mapping, and ``spec`` an
+  :meth:`~repro.core.spec.OptimizeSpec.to_dict` mapping. A bare
+  ``{"name", "pipeline", ...}`` object submits a single job. Returns
+  ``202`` with a batch id, or ``429`` with a retry hint when admission
+  control is saturated.
+* ``GET /jobs/<id>`` — batch status (``queued``/``running``/``done``/
+  ``failed``).
+* ``GET /report/<id>`` — the finished batch's full
+  :class:`FleetOptimizationReport` as JSON (rewritten programs
+  included: all results are valid programs).
+* ``GET /stats`` — cumulative cache hit rate, store size, queue depth,
+  and per-lane in-flight counts.
+
+**Admission control** bounds in-flight work *per lane*: jobs whose spec
+names the ``analytic`` backend are microseconds of work and get a wide
+lane; everything else (``simulate``, ``adaptive``, custom backends) may
+pay for discrete-event simulation and is bounded separately — one
+µs-budget NLP fleet can't be starved behind a queue of simulate-backend
+vision jobs, and simulate jobs can't monopolize the host (the
+heterogeneous-fleet fairness item from ROADMAP).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.spec import OptimizeSpec
+from repro.graph.serialize import pipeline_from_dict
+from repro.host.machine import Machine
+from repro.service.batch import (
+    BatchOptimizer,
+    FleetOptimizationReport,
+    OptimizationJob,
+)
+
+#: admission lanes: closed-form analytic jobs vs anything that may
+#: run the discrete-event simulator (simulate, adaptive, custom)
+ANALYTIC_LANE = "analytic"
+SIMULATE_LANE = "simulate"
+
+
+def job_lane(spec: OptimizeSpec) -> str:
+    """Which admission lane a job's effective spec belongs to."""
+    return (
+        ANALYTIC_LANE if spec.backend_name == "analytic" else SIMULATE_LANE
+    )
+
+
+class AdmissionController:
+    """Bounds in-flight jobs per lane; rejections carry a retry hint.
+
+    ``None`` bounds mean unlimited. A bound of ``0`` rejects every job
+    in that lane — useful for hosts that must never simulate.
+    """
+
+    def __init__(
+        self,
+        max_simulate_jobs: Optional[int] = 4,
+        max_analytic_jobs: Optional[int] = 256,
+    ) -> None:
+        for bound in (max_simulate_jobs, max_analytic_jobs):
+            if bound is not None and bound < 0:
+                raise ValueError("admission bounds must be >= 0")
+        self.bounds = {
+            SIMULATE_LANE: max_simulate_jobs,
+            ANALYTIC_LANE: max_analytic_jobs,
+        }
+        self._in_flight = {SIMULATE_LANE: 0, ANALYTIC_LANE: 0}
+        self._lock = threading.Lock()
+
+    def oversized_lane(self, lanes: Dict[str, int]) -> Optional[str]:
+        """The first lane whose count alone exceeds its bound, if any.
+
+        Such a batch can *never* be admitted, even on an idle daemon —
+        callers should reject it permanently (split the batch) rather
+        than tell the client to retry.
+        """
+        for lane, count in lanes.items():
+            bound = self.bounds.get(lane)
+            if bound is not None and count > bound:
+                return lane
+        return None
+
+    def try_admit(self, lanes: Dict[str, int]) -> Tuple[bool, str]:
+        """Atomically admit a batch's per-lane job counts, or explain.
+
+        Returns ``(True, "")`` and reserves the slots, or ``(False,
+        hint)`` leaving state untouched.
+        """
+        with self._lock:
+            for lane, count in lanes.items():
+                bound = self.bounds.get(lane)
+                if bound is None:
+                    continue
+                if self._in_flight[lane] + count > bound:
+                    hint = (
+                        f"{lane} lane is full "
+                        f"({self._in_flight[lane]}/{bound} jobs in flight, "
+                        f"batch needs {count} more); retry when in-flight "
+                        "work drains"
+                    )
+                    if lane == SIMULATE_LANE:
+                        hint += (", or resubmit with an analytic-backend "
+                                 "spec")
+                    return False, hint
+            for lane, count in lanes.items():
+                self._in_flight[lane] += count
+            return True, ""
+
+    def release(self, lanes: Dict[str, int]) -> None:
+        with self._lock:
+            for lane, count in lanes.items():
+                self._in_flight[lane] = max(0, self._in_flight[lane] - count)
+
+    def in_flight(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._in_flight)
+
+
+@dataclass
+class _Batch:
+    """One submitted batch's lifecycle record."""
+
+    id: str
+    jobs: List[OptimizationJob]
+    lanes: Dict[str, int]
+    status: str = "queued"          # queued -> running -> done | failed
+    report: Optional[FleetOptimizationReport] = None
+    error: Optional[str] = None
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+
+
+class _RequestError(Exception):
+    """A client error with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _finite(value: float) -> Optional[float]:
+    """JSON-safe float: NaN/inf become null."""
+    return value if math.isfinite(value) else None
+
+
+class OptimizationDaemon:
+    """A persistent optimization service over one :class:`BatchOptimizer`.
+
+    Parameters
+    ----------
+    optimizer:
+        The batch service to run jobs on (pool, spec, and result store
+        included). Defaults to a thread-pool ``BatchOptimizer`` — pass
+        one configured with a :class:`~repro.service.store.DiskStore`
+        for a daemon whose cache survives restarts.
+    host / port:
+        Bind address; port ``0`` picks a free port (see ``daemon.port``
+        after :meth:`start`).
+    max_simulate_jobs / max_analytic_jobs:
+        Per-lane admission bounds (``None`` = unlimited).
+    workers:
+        Concurrent batches executed by the daemon's dispatcher. Each
+        batch then fans its distinct jobs out on the optimizer's own
+        pool.
+    max_finished_batches:
+        How many finished (done/failed) batch records — including their
+        full reports — are retained for ``GET /report/<id>``; the
+        oldest are evicted beyond this bound so a long-running daemon's
+        memory stays flat. ``None`` retains everything.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optional[BatchOptimizer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_simulate_jobs: Optional[int] = 4,
+        max_analytic_jobs: Optional[int] = 256,
+        workers: int = 2,
+        max_finished_batches: Optional[int] = 256,
+    ) -> None:
+        if max_finished_batches is not None and max_finished_batches < 1:
+            raise ValueError("max_finished_batches must be >= 1")
+        self.optimizer = optimizer if optimizer is not None else BatchOptimizer()
+        self.admission = AdmissionController(
+            max_simulate_jobs=max_simulate_jobs,
+            max_analytic_jobs=max_analytic_jobs,
+        )
+        self._host = host
+        self._requested_port = port
+        self._workers = workers
+        self._max_finished = max_finished_batches
+        self._batches: Dict[str, _Batch] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+        self.rejected = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "OptimizationDaemon":
+        """Bind and serve in a background thread (idempotent; a closed
+        daemon can be started again)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-daemon"
+            )
+        if self._server is not None:
+            return self
+        daemon = self
+
+        class Handler(_DaemonHandler):
+            pass
+
+        Handler.daemon = daemon
+        self._server = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
+        self._server.daemon_threads = True
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-daemon-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        """Stop serving and (optionally) wait for in-flight batches."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+            self._server_thread = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+
+    def __enter__(self) -> "OptimizationDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("daemon is not running (call start())")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    # -- request handling ----------------------------------------------
+    def submit(self, body: dict) -> dict:
+        """Validate, admit, and enqueue one ``POST /optimize`` body."""
+        jobs = self._parse_jobs(body)
+        lanes: Dict[str, int] = {}
+        for job in jobs:
+            lane = job_lane(job.spec if job.spec is not None
+                            else self.optimizer.spec)
+            lanes[lane] = lanes.get(lane, 0) + 1
+        # A batch larger than a lane's whole bound can never be
+        # admitted; a 429/retry answer would have the client retry
+        # forever. Reject it permanently with the actual remedy.
+        too_big = self.admission.oversized_lane(lanes)
+        if too_big is not None:
+            with self._lock:
+                self.rejected += 1
+            raise _RequestError(
+                400,
+                f"batch needs {lanes[too_big]} {too_big}-lane jobs but "
+                f"the lane bound is {self.admission.bounds[too_big]}; "
+                "split the batch or raise the daemon's "
+                f"max_{too_big}_jobs",
+            )
+        admitted, hint = self.admission.try_admit(lanes)
+        if not admitted:
+            with self._lock:
+                self.rejected += 1
+            raise _RequestError(429, hint)
+        batch = _Batch(
+            id=f"batch-{next(self._ids):04d}",
+            jobs=jobs,
+            lanes=lanes,
+            submitted_at=self.optimizer._clock(),
+        )
+        with self._lock:
+            self._batches[batch.id] = batch
+            pool = self._pool
+        try:
+            if pool is None:
+                raise RuntimeError("daemon dispatcher is not running")
+            pool.submit(self._run_batch, batch)
+        except RuntimeError:
+            # Enqueue failed (daemon closing): release the reserved
+            # lane slots and drop the record, or they leak forever.
+            self.admission.release(batch.lanes)
+            with self._lock:
+                self._batches.pop(batch.id, None)
+            raise _RequestError(503, "daemon is shutting down; resubmit "
+                                     "to a running daemon")
+        return {"id": batch.id, "status": batch.status, "jobs": len(jobs)}
+
+    def _parse_jobs(self, body: dict) -> List[OptimizationJob]:
+        if not isinstance(body, dict):
+            raise _RequestError(400, "body must be a JSON object")
+        if "jobs" in body:
+            raw_jobs = body["jobs"]
+            if not isinstance(raw_jobs, list) or not raw_jobs:
+                raise _RequestError(400, "'jobs' must be a non-empty list")
+        elif "pipeline" in body:
+            raw_jobs = [body]  # single-job form
+        else:
+            raise _RequestError(
+                400, "body needs a 'jobs' list or a single 'pipeline'"
+            )
+        default_spec = None
+        if body.get("spec") is not None and "jobs" in body:
+            default_spec = self._parse_spec(body["spec"], "batch spec")
+        jobs: List[OptimizationJob] = []
+        seen: set = set()
+        for i, raw in enumerate(raw_jobs):
+            if not isinstance(raw, dict):
+                raise _RequestError(400, f"job #{i} must be an object")
+            name = raw.get("name")
+            if not isinstance(name, str) or not name:
+                raise _RequestError(400, f"job #{i} needs a 'name'")
+            if name in seen:
+                raise _RequestError(400, f"duplicate job name {name!r}")
+            seen.add(name)
+            try:
+                pipeline = pipeline_from_dict(raw["pipeline"])
+            except KeyError:
+                raise _RequestError(400, f"job {name!r} needs a 'pipeline'")
+            except Exception as exc:
+                raise _RequestError(
+                    400, f"job {name!r}: bad pipeline program: {exc}"
+                )
+            machine = None
+            if raw.get("machine") is not None:
+                try:
+                    machine = Machine.from_dict(raw["machine"])
+                except Exception as exc:
+                    raise _RequestError(
+                        400, f"job {name!r}: bad machine: {exc}"
+                    )
+            if machine is None:
+                machine = self.optimizer.machine
+            if machine is None:
+                raise _RequestError(
+                    400,
+                    f"job {name!r} has no machine and the daemon's "
+                    "optimizer has no default machine",
+                )
+            spec = default_spec
+            if raw.get("spec") is not None:
+                spec = self._parse_spec(raw["spec"], f"job {name!r} spec")
+            jobs.append(
+                OptimizationJob(name, pipeline, machine, spec=spec)
+            )
+        return jobs
+
+    @staticmethod
+    def _parse_spec(data: object, what: str) -> OptimizeSpec:
+        if not isinstance(data, dict):
+            raise _RequestError(400, f"{what} must be an object")
+        try:
+            return OptimizeSpec.from_dict(data)
+        except Exception as exc:
+            raise _RequestError(400, f"bad {what}: {exc}")
+
+    def _run_batch(self, batch: _Batch) -> None:
+        batch.status = "running"
+        try:
+            batch.report = self.optimizer.optimize_fleet(batch.jobs)
+            batch.status = "done"
+        except Exception as exc:  # report, don't kill the daemon
+            batch.error = f"{type(exc).__name__}: {exc}"
+            batch.status = "failed"
+        finally:
+            batch.finished_at = self.optimizer._clock()
+            self.admission.release(batch.lanes)
+            self._evict_finished()
+
+    def _evict_finished(self) -> None:
+        """Drop the oldest finished batch records beyond the bound."""
+        if self._max_finished is None:
+            return
+        with self._lock:
+            finished = [b for b in self._batches.values()
+                        if b.status in ("done", "failed")]
+            # Insertion order is submission order; evict oldest first.
+            for stale in finished[: max(0, len(finished) - self._max_finished)]:
+                self._batches.pop(stale.id, None)
+
+    # -- views ----------------------------------------------------------
+    def _batch(self, batch_id: str) -> _Batch:
+        with self._lock:
+            batch = self._batches.get(batch_id)
+        if batch is None:
+            raise _RequestError(404, f"unknown batch {batch_id!r}")
+        return batch
+
+    def job_status(self, batch_id: str) -> dict:
+        batch = self._batch(batch_id)
+        status = {
+            "id": batch.id,
+            "status": batch.status,
+            "jobs": len(batch.jobs),
+            "lanes": batch.lanes,
+        }
+        if batch.error is not None:
+            status["error"] = batch.error
+        return status
+
+    def report_json(self, batch_id: str) -> dict:
+        batch = self._batch(batch_id)
+        if batch.status == "failed":
+            raise _RequestError(500, f"batch failed: {batch.error}")
+        if batch.status != "done" or batch.report is None:
+            raise _RequestError(
+                409, f"batch {batch_id!r} is {batch.status}; report is "
+                     "available once status is 'done'"
+            )
+        report = batch.report
+        return {
+            "id": batch.id,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "cache_hit_rate": report.cache_hit_rate,
+            "jobs": [
+                {
+                    "name": j.name,
+                    "signature": j.signature,
+                    "cache_hit": j.cache_hit,
+                    "baseline_throughput": _finite(j.baseline_throughput),
+                    "optimized_throughput": _finite(j.optimized_throughput),
+                    "predicted_throughput": _finite(j.predicted_throughput),
+                    "speedup": _finite(j.speedup),
+                    "bottleneck": j.bottleneck,
+                    "decisions": list(j.decisions),
+                    # all results are valid programs (§4.1)
+                    "pipeline": json.loads(j.pipeline_json),
+                    "provenance": j.provenance,
+                }
+                for j in report.jobs
+            ],
+        }
+
+    def stats(self) -> dict:
+        with self._lock:
+            batches = list(self._batches.values())
+            rejected = self.rejected
+        by_status: Dict[str, int] = {}
+        for b in batches:
+            by_status[b.status] = by_status.get(b.status, 0) + 1
+        return {
+            "cache": self.optimizer.stats(),
+            "queue_depth": by_status.get("queued", 0)
+                           + by_status.get("running", 0),
+            "batches": by_status,
+            "in_flight_jobs": self.admission.in_flight(),
+            "admission_bounds": dict(self.admission.bounds),
+            "rejected_batches": rejected,
+        }
+
+
+class _DaemonHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning daemon (set by ``start``)."""
+
+    daemon: OptimizationDaemon  # injected per-daemon subclass attribute
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
+        pass
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, exc: _RequestError) -> None:
+        payload = {"error": str(exc)}
+        headers = {}
+        if exc.status == 429:
+            payload["retry_after_seconds"] = 1
+            headers["Retry-After"] = "1"
+        self._send_json(exc.status, payload, headers)
+
+    # -- verbs ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server convention
+        if self.path.rstrip("/") != "/optimize":
+            self._send_json(404, {"error": f"no such endpoint {self.path}"})
+            return
+        try:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except (TypeError, ValueError):
+                raise _RequestError(400, "invalid Content-Length header")
+            try:
+                body = json.loads(self.rfile.read(length) or b"null")
+            except ValueError:
+                raise _RequestError(400, "body is not valid JSON")
+            accepted = self.daemon.submit(body)
+            self._send_json(202, accepted)
+        except _RequestError as exc:
+            self._send_error_json(exc)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server convention
+        try:
+            parts = [p for p in self.path.split("/") if p]
+            if parts == ["stats"]:
+                self._send_json(200, self.daemon.stats())
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send_json(200, self.daemon.job_status(parts[1]))
+            elif len(parts) == 2 and parts[0] == "report":
+                self._send_json(200, self.daemon.report_json(parts[1]))
+            else:
+                raise _RequestError(404, f"no such endpoint {self.path}")
+        except _RequestError as exc:
+            self._send_error_json(exc)

@@ -1,0 +1,147 @@
+"""Deterministic sharding of fleet job batches across logical hosts.
+
+A fleet batch too large for one service process is split across ``N``
+logical hosts by **structural-signature hash**: every job whose pipeline
+is structurally identical lands on the same shard, so the per-shard
+result caches dedup exactly as well as one global cache would — no two
+shards ever optimize the same (pipeline, machine, spec) key. The
+assignment depends only on the signature (a canonical sha-256 digest)
+and ``num_shards``, so it is stable across processes, hosts, and runs.
+
+Per-shard :class:`~repro.service.batch.FleetOptimizationReport`s merge
+into one fleet-wide report via
+:meth:`~repro.service.batch.FleetOptimizationReport.merge`, whose
+hit-rate arithmetic deduplicates by cache key (see
+:func:`repro.fleet.analysis.merged_cache_counts`) — robust even to
+shard layouts that *do* duplicate a signature across shards, e.g.
+hand-partitioned batches or reports collected from independent service
+processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.graph.signature import structural_signature
+from repro.service.batch import BatchOptimizer, FleetOptimizationReport
+
+__all__ = ["shard_index", "shard_fleet", "ShardedOptimizer"]
+
+
+def shard_index(signature: str, num_shards: int) -> int:
+    """The shard owning a structural signature (hex digest)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return int(signature, 16) % num_shards
+
+
+def _job_pipeline(entry) -> object:
+    """The pipeline of one job in any of the batch-service input forms."""
+    if isinstance(entry, tuple):
+        if len(entry) < 2:
+            raise ValueError(
+                "job tuples are (name, pipeline[, ...]); "
+                f"got {len(entry)} elements"
+            )
+        return entry[1]
+    return entry.pipeline
+
+
+def shard_fleet(
+    jobs: Union[Mapping[str, object], Sequence],
+    num_shards: int,
+) -> List[List]:
+    """Partition a job batch into ``num_shards`` signature-affine shards.
+
+    Accepts the same input forms as
+    :meth:`~repro.service.batch.BatchOptimizer.optimize_fleet`
+    (``{name: pipeline}`` mappings, job tuples, or objects with a
+    ``pipeline`` attribute). Relative job order is preserved within each
+    shard; mappings shard as ``(name, pipeline)`` tuples. Empty shards
+    are returned as empty lists so shard ``i`` always maps to logical
+    host ``i``.
+    """
+    if isinstance(jobs, Mapping):
+        entries: Sequence = list(jobs.items())
+    else:
+        entries = list(jobs)
+    shards: List[List] = [[] for _ in range(num_shards)]
+    if num_shards == 1:
+        shards[0].extend(entries)
+        return shards
+    # Stamped fleets share Pipeline objects; hash each object once.
+    sig_by_id: Dict[int, str] = {}
+    for entry in entries:
+        pipeline = _job_pipeline(entry)
+        sig = sig_by_id.get(id(pipeline))
+        if sig is None:
+            sig = structural_signature(pipeline)
+            sig_by_id[id(pipeline)] = sig
+        shards[shard_index(sig, num_shards)].append(entry)
+    return shards
+
+
+class ShardedOptimizer:
+    """Dispatch job batches across per-shard :class:`BatchOptimizer`\\ s.
+
+    Each shard is one logical host: it owns its own optimizer (and
+    therefore its own result store — point each at a different
+    ``DiskStore`` directory to model independent hosts). A batch is
+    split with :func:`shard_fleet`, optimized shard by shard, and the
+    per-shard reports are merged into one fleet-wide
+    :class:`FleetOptimizationReport` with deduplicated cache
+    arithmetic. Job order in the merged report matches submission
+    order.
+    """
+
+    def __init__(self, optimizers: Sequence[BatchOptimizer]) -> None:
+        if not optimizers:
+            raise ValueError("need at least one shard optimizer")
+        self.optimizers = tuple(optimizers)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.optimizers)
+
+    def optimize_fleet(
+        self,
+        jobs: Union[Mapping[str, object], Sequence],
+    ) -> FleetOptimizationReport:
+        """Shard, optimize, and merge one batch."""
+        # Reject duplicate names up front: duplicates whose pipelines
+        # hash to *different* shards would slip past the per-shard
+        # check, silently diverging from BatchOptimizer on the same
+        # input (and making the merged report's job() ambiguous).
+        if isinstance(jobs, Mapping):
+            order = {name: i for i, name in enumerate(jobs)}
+        else:
+            order = {}
+            for i, entry in enumerate(jobs):
+                name = entry[0] if isinstance(entry, tuple) else entry.name
+                if name in order:
+                    raise ValueError(f"duplicate job name {name!r}")
+                order[name] = i
+        shards = shard_fleet(jobs, self.num_shards)
+        reports = [
+            opt.optimize_fleet(shard)
+            for opt, shard in zip(self.optimizers, shards)
+            if shard
+        ]
+        merged = FleetOptimizationReport.merge(reports)
+        # Restore submission order (merge concatenates shard by shard).
+        merged.jobs.sort(key=lambda j: order[j.name])
+        return merged
+
+    def stats(self) -> dict:
+        """Per-shard and fleet-wide cumulative cache accounting."""
+        shard_stats = [opt.stats() for opt in self.optimizers]
+        hits = sum(s["cache_hits"] for s in shard_stats)
+        misses = sum(s["cache_misses"] for s in shard_stats)
+        total = hits + misses
+        return {
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / total if total else 0.0,
+            "store_entries": sum(s["store_entries"] for s in shard_stats),
+            "shards": shard_stats,
+        }

@@ -1,0 +1,212 @@
+"""Persistent result stores for the batch optimization service.
+
+The service's signature-keyed result cache (PR 1) lived in a plain dict,
+so every process restart re-optimized the whole fleet. A
+:class:`ResultStore` abstracts where entries live:
+
+* :class:`InMemoryStore` — the original behaviour: a per-process mapping
+  with an optional LRU bound.
+* :class:`DiskStore` — one JSON file per entry under a cache directory,
+  written atomically (temp file + ``os.replace``) so a crash mid-write
+  can never corrupt an existing entry. Loads are corruption-tolerant: a
+  truncated file, invalid JSON, or an entry written under a different
+  :data:`~repro.core.spec.STORE_SCHEMA_VERSION` reads as a miss, never
+  an exception. An optional ``max_entries`` bound evicts
+  least-recently-used entries (recency = file mtime, refreshed on every
+  hit).
+
+Entries are opaque JSON-compatible mappings; the service stores
+``{"result": <worker result>, "provenance": {...}}`` where provenance
+records the producing trace backend, the spec's cache token, and a
+caller-injected timestamp — durable, shareable result artifacts keyed
+by configuration, in the Collective Knowledge sense.
+
+Cache keys are ``canonical_hash`` hex digests (see
+:meth:`repro.service.batch.BatchOptimizer._cache_key`), which makes them
+safe filenames as-is; :class:`DiskStore` rejects anything else rather
+than guessing an escaping scheme.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import string
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
+from uuid import uuid4
+
+from repro.core.spec import STORE_SCHEMA_VERSION
+
+#: characters allowed in a store key (canonical_hash emits lowercase hex,
+#: but any filename-safe token is accepted so tests can use readable keys)
+_SAFE_KEY_CHARS = frozenset(string.ascii_letters + string.digits + "._-")
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """Anything that can hold the service's keyed result entries."""
+
+    def get(self, key: str) -> Optional[dict]:
+        """The entry under ``key``, or ``None`` (miss / unreadable)."""
+        ...  # pragma: no cover - protocol body
+
+    def put(self, key: str, entry: dict) -> None:
+        """Persist ``entry`` under ``key`` (replacing any prior entry)."""
+        ...  # pragma: no cover - protocol body
+
+    def keys(self) -> Tuple[str, ...]:
+        """Keys currently readable from the store."""
+        ...  # pragma: no cover - protocol body
+
+    def __len__(self) -> int:
+        ...  # pragma: no cover - protocol body
+
+
+def _check_key(key: str) -> str:
+    if not isinstance(key, str) or not key:
+        raise ValueError("store keys must be non-empty strings")
+    if not set(key) <= _SAFE_KEY_CHARS or key.startswith("."):
+        raise ValueError(
+            f"store key {key!r} is not filename-safe; use canonical_hash "
+            "digests (the service's cache keys already are)"
+        )
+    return key
+
+
+class InMemoryStore:
+    """The original dict-backed cache, optionally LRU-bounded.
+
+    Thread-safe: the daemon's dispatcher threads share one store, and
+    the compound LRU update (lookup + move-to-end, insert + evict) must
+    not interleave.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[dict]:
+        key = _check_key(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: str, entry: dict) -> None:
+        key = _check_key(key)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+
+    def keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class DiskStore:
+    """Atomic JSON-per-entry store under a cache directory.
+
+    Layout: ``<root>/<key>.json`` holding
+    ``{"schema": STORE_SCHEMA_VERSION, "entry": {...}}``. Writes land in
+    a uniquely-named temp file first and are published with
+    ``os.replace``, so concurrent writers and crashes leave either the
+    old entry or the new one, never a torn file under the final name.
+    A process killed mid-write leaves only a ``*.tmp-*`` orphan, which
+    no read path ever considers an entry.
+    """
+
+    SUFFIX = ".json"
+
+    def __init__(self, root, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+
+    def _path(self, key: str) -> Path:
+        return self.root / (_check_key(key) + self.SUFFIX)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, ValueError):
+            # Missing, unreadable, truncated, or not JSON: a miss.
+            return None
+        if not isinstance(data, dict):
+            return None
+        if data.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        entry = data.get("entry")
+        if not isinstance(entry, dict):
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return entry
+
+    def put(self, key: str, entry: dict) -> None:
+        path = self._path(key)
+        tmp = path.parent / f"{path.name}.tmp-{os.getpid()}-{uuid4().hex[:8]}"
+        payload = {"schema": STORE_SCHEMA_VERSION, "entry": entry}
+        try:
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(payload, f, sort_keys=True)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # publish failed; don't leave orphans
+                tmp.unlink(missing_ok=True)
+        self._evict()
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(
+            p.name[: -len(self.SUFFIX)] for p in self.root.glob("*" + self.SUFFIX)
+        ))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*" + self.SUFFIX))
+
+    def clear(self) -> None:
+        """Delete every entry (temp orphans included)."""
+        for p in self.root.glob("*" + self.SUFFIX):
+            p.unlink(missing_ok=True)
+        for p in self.root.glob("*" + self.SUFFIX + ".tmp-*"):
+            p.unlink(missing_ok=True)
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        files = sorted(
+            self.root.glob("*" + self.SUFFIX),
+            key=lambda p: (_mtime(p), p.name),
+        )
+        while len(files) > self.max_entries:
+            files.pop(0).unlink(missing_ok=True)
+
+
+def _mtime(path: Path) -> float:
+    try:
+        return path.stat().st_mtime
+    except OSError:  # raced with another evictor
+        return 0.0

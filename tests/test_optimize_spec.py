@@ -1,9 +1,19 @@
 """Tests for OptimizeSpec: validation, serialization, cache identity."""
 
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
 import pytest
 
-from repro.core.spec import DEFAULT_PASSES, OptimizeSpec
-from repro.service import BatchOptimizer, OptimizationJob
+import repro
+from repro.core.spec import DEFAULT_PASSES, STORE_SCHEMA_VERSION, OptimizeSpec
+from repro.service import BatchOptimizer, DiskStore, OptimizationJob
+from repro.util import canonical_hash
 from tests.test_service import small_pipeline
 
 
@@ -199,6 +209,115 @@ class TestServiceCacheIdentity:
         )
         with pytest.raises(ValueError, match="unknown optimizer passes"):
             svc.optimize_fleet([job])
+
+
+class TestCacheTokenProperties:
+    """Seeded-random property tests for the token's cache-identity
+    contract: equal specs always collide, distinct specs never do, and
+    a token-derived key is stable across process restarts (so a
+    :class:`DiskStore` populated by one process serves the next)."""
+
+    #: per-field value pools; every warmup choice is < every duration
+    #: choice so any combination is a valid spec
+    FIELD_CHOICES = {
+        "passes": [("parallelism",), ("parallelism", "prefetch"),
+                   DEFAULT_PASSES, ("fuse",) + DEFAULT_PASSES],
+        "iterations": [1, 2, 3],
+        "backend": ["simulate", "analytic", "adaptive"],
+        "granularity": [None, 1, 4, 16],
+        "event_budget": [None, 10_000, 300_000],
+        "trace_duration": [1.0, 3.0, 5.0],
+        "trace_warmup": [0.0, 0.25, 0.5],
+        "memory_bytes": [None, 1e9, 32e9],
+        "allocate_remaining": [True, False],
+    }
+
+    @classmethod
+    def random_spec(cls, rng) -> OptimizeSpec:
+        return OptimizeSpec(**{
+            name: choices[int(rng.integers(len(choices)))]
+            for name, choices in cls.FIELD_CHOICES.items()
+        })
+
+    def _key(self, spec: OptimizeSpec) -> str:
+        return canonical_hash(spec.cache_token())
+
+    def test_equal_specs_always_collide(self):
+        for seed in range(50):
+            a = self.random_spec(np.random.default_rng(seed))
+            b = self.random_spec(np.random.default_rng(seed))
+            assert a == b
+            assert self._key(a) == self._key(b), seed
+
+    def test_distinct_specs_never_collide(self):
+        rng = np.random.default_rng(1234)
+        by_key = {}
+        for i in range(200):
+            spec = self.random_spec(rng)
+            key = self._key(spec)
+            if key in by_key:
+                assert by_key[key] == spec, (
+                    f"collision at draw {i}: {by_key[key]} vs {spec}"
+                )
+            by_key[key] = spec
+        assert len(by_key) > 1  # the sampler actually varies specs
+
+    def test_single_field_mutation_changes_the_key(self):
+        rng = np.random.default_rng(99)
+        for _ in range(60):
+            spec = self.random_spec(rng)
+            field = list(self.FIELD_CHOICES)[
+                int(rng.integers(len(self.FIELD_CHOICES)))
+            ]
+            current = getattr(spec, field)
+            others = [v for v in self.FIELD_CHOICES[field] if v != current]
+            mutated = spec.replace(**{field: others[
+                int(rng.integers(len(others)))
+            ]})
+            assert self._key(mutated) != self._key(spec), field
+
+    def test_schema_version_is_part_of_the_token(self, monkeypatch):
+        """Bumping the store schema must invalidate every cache key."""
+        before = self._key(OptimizeSpec())
+        monkeypatch.setattr("repro.core.spec.STORE_SCHEMA_VERSION",
+                            STORE_SCHEMA_VERSION + 1)
+        assert self._key(OptimizeSpec()) != before
+
+    def test_token_stable_across_process_restart(self, tmp_path):
+        """A fresh interpreter derives the same key and reads the entry
+        this process wrote through a DiskStore — the token depends only
+        on field values, never on process state (hash seeds, ids)."""
+        spec = OptimizeSpec(passes=("fuse", "parallelism"), iterations=3,
+                            backend="analytic", granularity=4,
+                            event_budget=10_000, trace_duration=2.0,
+                            trace_warmup=0.25, memory_bytes=1e9,
+                            allocate_remaining=False)
+        key = self._key(spec)
+        DiskStore(tmp_path).put(key, {"result": {"marker": 42}})
+        script = textwrap.dedent(f"""
+            import json
+            from repro.core.spec import OptimizeSpec
+            from repro.service import DiskStore
+            from repro.util import canonical_hash
+
+            spec = OptimizeSpec(passes=("fuse", "parallelism"), iterations=3,
+                                backend="analytic", granularity=4,
+                                event_budget=10_000, trace_duration=2.0,
+                                trace_warmup=0.25, memory_bytes=1e9,
+                                allocate_remaining=False)
+            key = canonical_hash(spec.cache_token())
+            print(key)
+            print(json.dumps(DiskStore({str(tmp_path)!r}).get(key)))
+        """)
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run([sys.executable, "-c", script], env=env,
+                             capture_output=True, text=True, timeout=120)
+        assert out.returncode == 0, out.stderr
+        child_key, child_entry = out.stdout.strip().splitlines()
+        assert child_key == key
+        assert json.loads(child_entry) == {"result": {"marker": 42}}
 
 
 class TestPlumberSpec:

@@ -1,0 +1,453 @@
+"""Daemon lifecycle tests: serve/shutdown, concurrent submission,
+admission control (429 + retry hint), and disk-store fault tolerance."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.spec import OptimizeSpec
+from repro.graph.serialize import pipeline_to_dict
+from repro.service import (
+    AdmissionController,
+    BatchOptimizer,
+    DiskStore,
+    OptimizationDaemon,
+    job_lane,
+)
+from tests.test_service import small_pipeline
+
+#: analytic backend keeps daemon tests sub-second per batch
+FAST_SPEC = OptimizeSpec(iterations=1, backend="analytic",
+                         trace_duration=1.0, trace_warmup=0.25)
+SIM_SPEC = FAST_SPEC.replace(backend="simulate")
+
+
+# ----------------------------------------------------------------------
+# Tiny HTTP client helpers (stdlib only, mirroring daemon transport).
+# ----------------------------------------------------------------------
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, json.load(resp), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc), dict(exc.headers)
+
+
+def _post(url, body):
+    data = json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.load(resp), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc), dict(exc.headers)
+
+
+def _wait_done(base, batch_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload, _ = _get(f"{base}/jobs/{batch_id}")
+        assert status == 200
+        if payload["status"] in ("done", "failed"):
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"batch {batch_id} did not finish in {timeout}s")
+
+
+def _job_body(name, pipeline, machine, spec=None):
+    body = {"name": name, "pipeline": pipeline_to_dict(pipeline),
+            "machine": machine.to_dict()}
+    if spec is not None:
+        body["spec"] = spec.to_dict()
+    return body
+
+
+@pytest.fixture
+def daemon(test_machine):
+    dm = OptimizationDaemon(
+        BatchOptimizer(machine=test_machine, executor="serial",
+                       spec=FAST_SPEC),
+    )
+    with dm:
+        yield dm
+
+
+class TestLifecycle:
+    def test_start_serve_shutdown(self, test_machine, small_catalog):
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC)
+        )
+        dm.start()
+        assert dm.port > 0
+        status, payload, _ = _get(f"{dm.url}/stats")
+        assert status == 200 and payload["queue_depth"] == 0
+        url = dm.url
+        dm.close()
+        with pytest.raises(Exception):
+            urllib.request.urlopen(f"{url}/stats", timeout=2)
+
+    def test_start_is_idempotent(self, daemon):
+        port = daemon.port
+        daemon.start()
+        assert daemon.port == port
+
+    def test_port_requires_running_server(self, test_machine):
+        dm = OptimizationDaemon(BatchOptimizer(machine=test_machine))
+        with pytest.raises(RuntimeError, match="not running"):
+            dm.port
+
+    def test_submit_poll_report(self, daemon, small_catalog, test_machine):
+        pipe = small_pipeline(small_catalog)
+        status, accepted, _ = _post(
+            f"{daemon.url}/optimize",
+            {"jobs": [_job_body("a", pipe, test_machine),
+                      _job_body("b", pipe, test_machine)]},
+        )
+        assert status == 202
+        final = _wait_done(daemon.url, accepted["id"])
+        assert final["status"] == "done"
+        status, report, _ = _get(f"{daemon.url}/report/{accepted['id']}")
+        assert status == 200
+        assert [j["name"] for j in report["jobs"]] == ["a", "b"]
+        # Structurally identical jobs share one optimization.
+        assert report["cache_misses"] == 1 and report["cache_hits"] == 1
+        assert report["jobs"][1]["cache_hit"]
+        assert report["jobs"][0]["provenance"]["producer"] == "analytic"
+        # The rewritten program travels in the report (§4.1: traces and
+        # results are programs).
+        assert report["jobs"][0]["pipeline"]["nodes"]
+
+    def test_single_job_form(self, daemon, small_catalog, test_machine):
+        body = _job_body("solo", small_pipeline(small_catalog), test_machine)
+        status, accepted, _ = _post(f"{daemon.url}/optimize", body)
+        assert status == 202 and accepted["jobs"] == 1
+        assert _wait_done(daemon.url, accepted["id"])["status"] == "done"
+
+    def test_report_for_unknown_batch_404(self, daemon):
+        status, payload, _ = _get(f"{daemon.url}/report/batch-9999")
+        assert status == 404 and "unknown batch" in payload["error"]
+
+    def test_unknown_endpoint_404(self, daemon):
+        assert _get(f"{daemon.url}/nope")[0] == 404
+        assert _post(f"{daemon.url}/nope", {})[0] == 404
+
+    def test_malformed_bodies_400(self, daemon, small_catalog, test_machine):
+        pipe = small_pipeline(small_catalog)
+        cases = [
+            {},                                        # no jobs/pipeline
+            {"jobs": []},                              # empty batch
+            {"jobs": [{"pipeline": pipeline_to_dict(pipe)}]},  # no name
+            {"jobs": [{"name": "x", "pipeline": {"bad": 1}}]},  # bad program
+            {"jobs": [_job_body("d", pipe, test_machine),
+                      _job_body("d", pipe, test_machine)]},     # dup name
+            {"name": "x", "pipeline": pipeline_to_dict(pipe),
+             "spec": {"nonsense": True}},              # bad spec
+        ]
+        for body in cases:
+            status, payload, _ = _post(f"{daemon.url}/optimize", body)
+            assert status == 400, body
+            assert "error" in payload
+
+    def test_invalid_json_400(self, daemon):
+        req = urllib.request.Request(
+            f"{daemon.url}/optimize", data=b"{not json", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+
+    def test_malformed_content_length_400(self, daemon):
+        """A bad Content-Length header answers 400, not a dropped
+        connection."""
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", daemon.port,
+                                          timeout=10)
+        try:
+            conn.putrequest("POST", "/optimize")
+            conn.putheader("Content-Length", "abc")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert "Content-Length" in json.load(resp)["error"]
+        finally:
+            conn.close()
+
+    def test_restart_after_close(self, test_machine, small_catalog):
+        """close() then start() yields a fully working daemon again —
+        the dispatcher pool is recreated, not left shut down."""
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC))
+        dm.start()
+        dm.close()
+        dm.start()
+        try:
+            body = _job_body("again", small_pipeline(small_catalog),
+                             test_machine)
+            status, accepted, _ = _post(f"{dm.url}/optimize", body)
+            assert status == 202
+            assert _wait_done(dm.url, accepted["id"])["status"] == "done"
+            assert dm.admission.in_flight() == {"simulate": 0,
+                                                "analytic": 0}
+        finally:
+            dm.close()
+
+    def test_submit_on_closed_daemon_releases_slots(self, test_machine,
+                                                    small_catalog):
+        """A submit that cannot enqueue (daemon closed) must answer 503
+        and give back its reserved admission slots."""
+        from repro.service.daemon import _RequestError
+
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC))
+        body = _job_body("late", small_pipeline(small_catalog),
+                         test_machine)  # daemon never started: no pool
+        with pytest.raises(_RequestError) as err:
+            dm.submit(body)
+        assert err.value.status == 503
+        assert dm.admission.in_flight() == {"simulate": 0, "analytic": 0}
+        with pytest.raises(_RequestError, match="unknown batch"):
+            dm.job_status("batch-0001")
+
+    def test_finished_batches_evicted_beyond_bound(self, test_machine,
+                                                   small_catalog):
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC),
+            max_finished_batches=2,
+        )
+        with dm:
+            pipe = small_pipeline(small_catalog)
+            ids = []
+            for i in range(3):
+                _, accepted, _ = _post(f"{dm.url}/optimize",
+                                       _job_body(f"j{i}", pipe, test_machine))
+                ids.append(accepted["id"])
+                _wait_done(dm.url, accepted["id"])
+            # Oldest finished record evicted; latest two retained.
+            assert _get(f"{dm.url}/report/{ids[0]}")[0] == 404
+            assert _get(f"{dm.url}/report/{ids[1]}")[0] == 200
+            assert _get(f"{dm.url}/report/{ids[2]}")[0] == 200
+
+    def test_missing_machine_400_when_no_default(self, small_catalog):
+        dm = OptimizationDaemon(
+            BatchOptimizer(executor="serial", spec=FAST_SPEC))
+        with dm:
+            body = {"name": "x",
+                    "pipeline": pipeline_to_dict(small_pipeline(small_catalog))}
+            status, payload, _ = _post(f"{dm.url}/optimize", body)
+            assert status == 400 and "no machine" in payload["error"]
+
+    def test_failed_batch_reported_not_fatal(self, daemon, small_catalog,
+                                             test_machine):
+        def boom(jobs):
+            raise RuntimeError("worker exploded")
+
+        daemon.optimizer.optimize_fleet = boom
+        body = _job_body("x", small_pipeline(small_catalog), test_machine)
+        _, accepted, _ = _post(f"{daemon.url}/optimize", body)
+        final = _wait_done(daemon.url, accepted["id"])
+        assert final["status"] == "failed"
+        assert "worker exploded" in final["error"]
+        status, payload, _ = _get(f"{daemon.url}/report/{accepted['id']}")
+        assert status == 500
+        # The daemon survives and admission slots were released.
+        assert daemon.admission.in_flight() == {"simulate": 0, "analytic": 0}
+
+
+class TestConcurrentSubmission:
+    def test_concurrent_posts_all_served(self, small_catalog, test_machine):
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC),
+            workers=4,
+        )
+        with dm:
+            pipe = small_pipeline(small_catalog)
+            results = []
+            lock = threading.Lock()
+
+            def submit(i):
+                status, accepted, _ = _post(
+                    f"{dm.url}/optimize",
+                    _job_body(f"job{i}", pipe, test_machine),
+                )
+                with lock:
+                    results.append((status, accepted))
+
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert [s for s, _ in results] == [202] * 8
+            ids = [a["id"] for _, a in results]
+            assert len(set(ids)) == 8
+            for batch_id in ids:
+                assert _wait_done(dm.url, batch_id)["status"] == "done"
+            _, stats, _ = _get(f"{dm.url}/stats")
+            assert stats["queue_depth"] == 0
+            assert stats["batches"]["done"] == 8
+            # 8 structurally identical jobs; at least one optimization
+            # ran, the rest were served from the shared store. (Batches
+            # racing on an unpopulated store may each compute the key.)
+            assert stats["cache"]["cache_hits"] >= 1
+            # Counter updates are locked: no increment is lost even
+            # with dispatcher threads finishing batches concurrently.
+            assert stats["cache"]["cache_hits"] + \
+                stats["cache"]["cache_misses"] == 8
+            assert stats["cache"]["store_entries"] == 1
+
+
+class TestAdmissionControl:
+    def test_job_lane_classification(self):
+        assert job_lane(FAST_SPEC) == "analytic"
+        assert job_lane(SIM_SPEC) == "simulate"
+        assert job_lane(FAST_SPEC.replace(backend="adaptive")) == "simulate"
+
+    def test_controller_admits_and_releases(self):
+        ctl = AdmissionController(max_simulate_jobs=2)
+        ok, _ = ctl.try_admit({"simulate": 2})
+        assert ok
+        ok, hint = ctl.try_admit({"simulate": 1})
+        assert not ok and "simulate lane is full" in hint
+        ctl.release({"simulate": 2})
+        assert ctl.try_admit({"simulate": 1})[0]
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_simulate_jobs=-1)
+
+    def test_simulate_lane_rejection_is_429_with_hint(self, small_catalog,
+                                                      test_machine):
+        """While the simulate lane is occupied by in-flight work, a new
+        simulate batch answers 429 + retry hint; the analytic lane stays
+        open; once the lane drains, the retry succeeds."""
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC),
+            max_simulate_jobs=1,
+        )
+        with dm:
+            gate = threading.Event()
+            original = dm.optimizer.optimize_fleet
+
+            def gated(jobs):
+                assert gate.wait(timeout=60)
+                return original(jobs)
+
+            dm.optimizer.optimize_fleet = gated
+            pipe = small_pipeline(small_catalog)
+            body = _job_body("sim1", pipe, test_machine, spec=SIM_SPEC)
+            status, first, _ = _post(f"{dm.url}/optimize", body)
+            assert status == 202  # occupies the whole simulate lane
+            body = _job_body("sim2", pipe, test_machine, spec=SIM_SPEC)
+            status, payload, headers = _post(f"{dm.url}/optimize", body)
+            assert status == 429
+            assert headers.get("Retry-After") == "1"
+            assert payload["retry_after_seconds"] == 1
+            assert "simulate lane is full" in payload["error"]
+            assert "retry" in payload["error"]
+            # The analytic lane is bounded separately: same pipeline,
+            # analytic spec, admitted while simulate is saturated.
+            ok_body = _job_body("ana", pipe, test_machine, spec=FAST_SPEC)
+            status, accepted, _ = _post(f"{dm.url}/optimize", ok_body)
+            assert status == 202
+            gate.set()  # drain the lane
+            assert _wait_done(dm.url, first["id"])["status"] == "done"
+            assert _wait_done(dm.url, accepted["id"])["status"] == "done"
+            # The rejected batch fits now.
+            body = _job_body("sim3", pipe, test_machine, spec=SIM_SPEC)
+            status, retried, _ = _post(f"{dm.url}/optimize", body)
+            assert status == 202
+            assert _wait_done(dm.url, retried["id"])["status"] == "done"
+            _, stats, _ = _get(f"{dm.url}/stats")
+            assert stats["rejected_batches"] == 1
+
+    def test_oversized_batch_rejected_permanently_not_429(self,
+                                                          small_catalog,
+                                                          test_machine):
+        """A batch larger than a lane's whole bound can never fit; the
+        daemon must say so (400 + remedy), not ask the client to retry
+        forever."""
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC),
+            max_analytic_jobs=2,
+        )
+        with dm:
+            pipe = small_pipeline(small_catalog)
+            body = {"jobs": [_job_body(f"j{i}", pipe, test_machine)
+                             for i in range(3)]}
+            status, payload, _ = _post(f"{dm.url}/optimize", body)
+            assert status == 400
+            assert "split the batch" in payload["error"]
+            # An idle daemon still has all its slots.
+            assert dm.admission.in_flight() == {"simulate": 0,
+                                                "analytic": 0}
+
+    def test_admission_recovers_after_drain(self, small_catalog,
+                                            test_machine):
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC),
+            max_analytic_jobs=2,
+        )
+        with dm:
+            pipe = small_pipeline(small_catalog)
+            body = {"jobs": [_job_body("a", pipe, test_machine),
+                             _job_body("b", pipe, test_machine)]}
+            status, accepted, _ = _post(f"{dm.url}/optimize", body)
+            assert status == 202
+            _wait_done(dm.url, accepted["id"])
+            # Slots released on completion: the same batch fits again.
+            body = {"jobs": [_job_body("c", pipe, test_machine),
+                             _job_body("d", pipe, test_machine)]}
+            assert _post(f"{dm.url}/optimize", body)[0] == 202
+
+
+class TestDiskStoreFaultTolerance:
+    def test_killed_mid_write_entry_skipped_not_fatal(self, tmp_path,
+                                                      small_catalog,
+                                                      test_machine):
+        """A daemon restarted onto a store with a torn entry (killed
+        mid-write) recomputes that key and serves the rest from disk."""
+        pipe_a = small_pipeline(small_catalog, name="a")
+        pipe_b = small_pipeline(small_catalog, parallelism=4, name="b")
+        first = BatchOptimizer(machine=test_machine, executor="serial",
+                               spec=FAST_SPEC, store=DiskStore(tmp_path))
+        first.optimize_fleet({"a": pipe_a, "b": pipe_b})
+        store = DiskStore(tmp_path)
+        assert len(store) == 2
+        # Tear one final entry file and leave a mid-write temp orphan —
+        # the two crash artifacts a kill -9 can leave behind.
+        victim = store.keys()[0]
+        path = tmp_path / f"{victim}.json"
+        path.write_text(path.read_text()[: 25])
+        (tmp_path / f"{victim}.json.tmp-777-cafe").write_text('{"sch')
+
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC, store=DiskStore(tmp_path)),
+        )
+        with dm:
+            body = {"jobs": [_job_body("a", pipe_a, test_machine),
+                             _job_body("b", pipe_b, test_machine)]}
+            _, accepted, _ = _post(f"{dm.url}/optimize", body)
+            assert _wait_done(dm.url, accepted["id"])["status"] == "done"
+            _, report, _ = _get(f"{dm.url}/report/{accepted['id']}")
+            # Exactly the torn key was recomputed.
+            assert report["cache_misses"] == 1
+            assert report["cache_hits"] == 1
+        # The recompute repaired the torn entry on disk.
+        assert DiskStore(tmp_path).get(victim) is not None

@@ -1,0 +1,231 @@
+"""Tests for the persistent result stores (repro.service.store).
+
+The acceptance bar for disk persistence: a ``BatchOptimizer`` pointed at
+a ``DiskStore`` directory that a *separate process* already populated
+must serve an unchanged fleet at >= 90% cache hit rate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.spec import STORE_SCHEMA_VERSION, OptimizeSpec
+from repro.fleet.generator import FleetConfig, generate_pipeline_fleet
+from repro.service import BatchOptimizer, DiskStore, InMemoryStore, ResultStore
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+#: analytic backend keeps every store test sub-second
+FAST_SPEC = OptimizeSpec(iterations=1, backend="analytic",
+                         trace_duration=1.0, trace_warmup=0.25)
+
+FLEET_KWARGS = dict(
+    num_jobs=10, distinct=3, seed=3,
+    config=FleetConfig(domain_weights={"vision": 1.0},
+                       optimize_spec=FAST_SPEC),
+)
+
+
+def make_fleet():
+    return generate_pipeline_fleet(**FLEET_KWARGS)
+
+
+class TestInMemoryStore:
+    def test_round_trip(self):
+        store = InMemoryStore()
+        store.put("k1", {"result": {"x": 1}})
+        assert store.get("k1") == {"result": {"x": 1}}
+        assert store.get("missing") is None
+        assert len(store) == 1
+        assert store.keys() == ("k1",)
+
+    def test_lru_bound_evicts_oldest(self):
+        store = InMemoryStore(max_entries=2)
+        store.put("a", {"v": 1})
+        store.put("b", {"v": 2})
+        store.put("c", {"v": 3})
+        assert store.get("a") is None
+        assert store.get("b") is not None and store.get("c") is not None
+
+    def test_get_refreshes_recency(self):
+        store = InMemoryStore(max_entries=2)
+        store.put("a", {"v": 1})
+        store.put("b", {"v": 2})
+        store.get("a")               # a is now most recent
+        store.put("c", {"v": 3})
+        assert store.get("b") is None
+        assert store.get("a") is not None
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            InMemoryStore(max_entries=0)
+
+
+class TestDiskStore:
+    def test_round_trip_and_layout(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("k1", {"result": {"x": 1}})
+        assert store.get("k1") == {"result": {"x": 1}}
+        # One JSON file per entry, wrapped with the schema version.
+        data = json.loads((tmp_path / "k1.json").read_text())
+        assert data["schema"] == STORE_SCHEMA_VERSION
+        assert data["entry"] == {"result": {"x": 1}}
+        assert store.keys() == ("k1",)
+
+    def test_fresh_instance_reads_existing_entries(self, tmp_path):
+        DiskStore(tmp_path).put("k1", {"result": {"x": 1}})
+        assert DiskStore(tmp_path).get("k1") == {"result": {"x": 1}}
+
+    def test_missing_is_none(self, tmp_path):
+        assert DiskStore(tmp_path).get("nope") is None
+
+    def test_unsafe_keys_rejected(self, tmp_path):
+        store = DiskStore(tmp_path)
+        for bad in ("", "../escape", "a/b", ".hidden", "sp ace"):
+            with pytest.raises(ValueError):
+                store.put(bad, {})
+
+    def test_corrupt_entry_is_a_miss_not_fatal(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("k1", {"result": {"x": 1}})
+        (tmp_path / "k1.json").write_text('{"schema": 1, "entry": {"resu')
+        assert store.get("k1") is None
+
+    def test_killed_mid_write_orphan_is_invisible(self, tmp_path):
+        """A temp file left by a killed writer is never read as an
+        entry and never shadows the key."""
+        store = DiskStore(tmp_path)
+        (tmp_path / "k1.json.tmp-999-deadbeef").write_text('{"schema"')
+        assert store.get("k1") is None
+        assert store.keys() == ()
+        store.put("k1", {"result": {"x": 1}})  # key still writable
+        assert store.get("k1") == {"result": {"x": 1}}
+
+    def test_wrong_schema_version_is_a_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        (tmp_path / "k1.json").write_text(json.dumps(
+            {"schema": STORE_SCHEMA_VERSION + 1, "entry": {"result": {}}}
+        ))
+        assert store.get("k1") is None
+
+    def test_non_dict_payloads_are_misses(self, tmp_path):
+        store = DiskStore(tmp_path)
+        (tmp_path / "k1.json").write_text(json.dumps([1, 2, 3]))
+        (tmp_path / "k2.json").write_text(json.dumps(
+            {"schema": STORE_SCHEMA_VERSION, "entry": "not-a-dict"}
+        ))
+        assert store.get("k1") is None
+        assert store.get("k2") is None
+
+    def test_lru_bound_evicts_least_recently_used(self, tmp_path):
+        store = DiskStore(tmp_path, max_entries=2)
+        store.put("a", {"v": 1})
+        store.put("b", {"v": 2})
+        # Age the files deterministically: a older than b.
+        os.utime(tmp_path / "a.json", (1000, 1000))
+        os.utime(tmp_path / "b.json", (2000, 2000))
+        store.get("a")               # refreshes a's mtime to "now"
+        store.put("c", {"v": 3})     # evicts b (oldest mtime)
+        assert store.get("b") is None
+        assert store.get("a") is not None
+        assert store.get("c") is not None
+        assert len(store) == 2
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskStore(tmp_path, max_entries=0)
+
+    def test_clear_removes_entries_and_orphans(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("k1", {"v": 1})
+        (tmp_path / "k2.json.tmp-1-ab").write_text("junk")
+        store.clear()
+        assert store.keys() == ()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_satisfies_result_store_protocol(self, tmp_path):
+        assert isinstance(DiskStore(tmp_path), ResultStore)
+        assert isinstance(InMemoryStore(), ResultStore)
+
+
+class TestBatchOptimizerWithDiskStore:
+    def test_warm_restart_same_process(self, tmp_path):
+        fleet = make_fleet()
+        first = BatchOptimizer(executor="serial", spec=FAST_SPEC,
+                               store=DiskStore(tmp_path))
+        r1 = first.optimize_fleet(fleet)
+        assert r1.cache_misses == 3
+        # A second service instance shares nothing but the directory.
+        second = BatchOptimizer(executor="serial", spec=FAST_SPEC,
+                                store=DiskStore(tmp_path))
+        r2 = second.optimize_fleet(fleet)
+        assert r2.cache_misses == 0
+        assert r2.cache_hit_rate == 1.0
+
+    def test_provenance_recorded_with_injected_clock(self, tmp_path):
+        fleet = make_fleet()
+        svc = BatchOptimizer(executor="serial", spec=FAST_SPEC,
+                             store=DiskStore(tmp_path),
+                             clock=lambda: 1234.5)
+        report = svc.optimize_fleet(fleet[:1])
+        prov = report.jobs[0].provenance
+        assert prov["created_at"] == 1234.5
+        assert prov["producer"] == "analytic"
+        assert prov["spec"] == FAST_SPEC.cache_token()
+
+    def test_corrupt_entry_recomputed_not_fatal(self, tmp_path):
+        fleet = make_fleet()
+        store = DiskStore(tmp_path)
+        svc = BatchOptimizer(executor="serial", spec=FAST_SPEC, store=store)
+        svc.optimize_fleet(fleet)
+        # Truncate one entry (a crash mid-rewrite of the final file).
+        victim = store.keys()[0]
+        path = tmp_path / f"{victim}.json"
+        path.write_text(path.read_text()[: 40])
+        again = BatchOptimizer(executor="serial", spec=FAST_SPEC,
+                               store=DiskStore(tmp_path))
+        report = again.optimize_fleet(fleet)
+        # Only the corrupted key was recomputed; everything else hit.
+        assert report.cache_misses == 1
+        assert report.cache_hit_rate == pytest.approx(9 / 10)
+
+    def test_cache_hit_rate_from_second_fresh_process(self, tmp_path):
+        """Acceptance: an unchanged fleet optimized from a *separate
+        process* against the same store directory reports >= 90% cache
+        hits — keys (structural signature + machine fingerprint + spec
+        token) are stable across process boundaries."""
+        fleet = make_fleet()
+        svc = BatchOptimizer(executor="serial", spec=FAST_SPEC,
+                             store=DiskStore(tmp_path))
+        svc.optimize_fleet(fleet)
+        script = textwrap.dedent(f"""
+            from repro.core.spec import OptimizeSpec
+            from repro.fleet.generator import FleetConfig, generate_pipeline_fleet
+            from repro.service import BatchOptimizer, DiskStore
+
+            spec = OptimizeSpec(iterations=1, backend="analytic",
+                                trace_duration=1.0, trace_warmup=0.25)
+            fleet = generate_pipeline_fleet(
+                num_jobs=10, distinct=3, seed=3,
+                config=FleetConfig(domain_weights={{"vision": 1.0}},
+                                   optimize_spec=spec),
+            )
+            svc = BatchOptimizer(executor="serial", spec=spec,
+                                 store=DiskStore({str(tmp_path)!r}))
+            report = svc.optimize_fleet(fleet)
+            print(report.cache_hit_rate)
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run([sys.executable, "-c", script], env=env,
+                             capture_output=True, text=True, timeout=180)
+        assert out.returncode == 0, out.stderr
+        hit_rate = float(out.stdout.strip().splitlines()[-1])
+        assert hit_rate >= 0.9
+        assert hit_rate == 1.0  # unchanged fleet: every key is served
