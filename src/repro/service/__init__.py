@@ -8,13 +8,19 @@ cache hit rate). Around it:
 
 * :mod:`repro.service.store` — pluggable result stores; ``DiskStore``
   persists entries as atomic JSON files so the cache survives process
-  restarts.
+  restarts; both stores garbage-collect by provenance age
+  (``compact``).
 * :mod:`repro.service.daemon` — a long-running HTTP front-end
   (``POST /optimize``, ``GET /jobs/<id>``, ``GET /report/<id>``,
-  ``GET /stats``) with per-lane admission control.
+  ``GET /stats``, ``POST /compact``) with per-lane admission control.
+* :mod:`repro.service.client` — a stdlib-``urllib``
+  ``OptimizationClient`` wrapping those endpoints (429 retry, polling
+  backoff, report rehydration) and a ``RemoteShard`` adapter binding a
+  client to one daemon URL.
 * :mod:`repro.service.shard` — deterministic signature-hash sharding of
-  job batches across logical hosts, with per-shard reports merged into
-  one.
+  job batches across logical hosts (in-process optimizers or remote
+  daemons over HTTP), dispatched concurrently, with per-shard reports
+  merged into one.
 """
 
 from repro.core.spec import OptimizeSpec
@@ -24,6 +30,12 @@ from repro.service.batch import (
     JobResult,
     OptimizationJob,
     merge_fleet_reports,
+)
+from repro.service.client import (
+    BatchFailedError,
+    ClientError,
+    OptimizationClient,
+    RemoteShard,
 )
 from repro.service.daemon import (
     AdmissionController,
@@ -35,14 +47,18 @@ from repro.service.store import DiskStore, InMemoryStore, ResultStore
 
 __all__ = [
     "AdmissionController",
+    "BatchFailedError",
     "BatchOptimizer",
+    "ClientError",
     "DiskStore",
     "FleetOptimizationReport",
     "InMemoryStore",
     "JobResult",
+    "OptimizationClient",
     "OptimizationDaemon",
     "OptimizationJob",
     "OptimizeSpec",
+    "RemoteShard",
     "ResultStore",
     "ShardedOptimizer",
     "job_lane",

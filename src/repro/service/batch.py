@@ -599,6 +599,28 @@ class BatchOptimizer:
             "store_entries": len(self.store),
         }
 
+    def compact_store(self, max_age_seconds: float,
+                      now: Optional[float] = None) -> int:
+        """Garbage-collect stored results by provenance age.
+
+        Evicts every store entry whose ``provenance.created_at`` is at
+        least ``max_age_seconds`` older than ``now`` (the service's
+        injected clock by default — the same clock that stamped the
+        entries). Returns the number of entries removed. Requires a
+        store with a ``compact`` method (both built-ins have one);
+        raises :class:`TypeError` otherwise.
+        """
+        compact = getattr(self.store, "compact", None)
+        if not callable(compact):
+            raise TypeError(
+                f"store {type(self.store).__name__} does not support "
+                "compaction (no compact method)"
+            )
+        return compact(
+            max_age_seconds,
+            now=self._clock() if now is None else now,
+        )
+
     def optimize_one(self, name: str, pipeline: Pipeline,
                      machine: Optional[Machine] = None,
                      spec: Optional[OptimizeSpec] = None) -> JobResult:

@@ -1,0 +1,425 @@
+"""HTTP client library for the optimization daemon.
+
+:class:`OptimizationClient` wraps the daemon's endpoints
+(:mod:`repro.service.daemon`) behind the same in-process surface the
+rest of the service exposes: submit a fleet of *serialized programs*,
+poll with backoff, and get a real
+:class:`~repro.service.batch.FleetOptimizationReport` back — every
+``GET /report/<id>`` job is rehydrated through
+:func:`repro.graph.serialize.pipeline_from_dict`, so remote results are
+valid programs exactly like local ones (§4.1: all results are
+programs). Saturation answers (``429`` + ``Retry-After``) are honored
+transparently by :meth:`~OptimizationClient.submit`.
+
+:class:`RemoteShard` binds one client to one daemon URL and exposes the
+shard contract (``optimize_fleet`` + ``stats``), so a
+:class:`~repro.service.shard.ShardedOptimizer` front-end can fan a
+fleet out to N daemon *processes* — on one host or many — over HTTP
+instead of N in-process optimizers, turning signature-affine sharding
+into a real multi-host protocol.
+
+Everything here is stdlib ``urllib``; the wire format is the daemon's
+JSON (serialized pipelines, ``Machine.to_dict`` machines,
+``OptimizeSpec.to_dict`` specs). ``sleep``/``clock`` are injectable so
+retry/backoff behaviour is testable without wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.spec import OptimizeSpec
+from repro.graph.serialize import (
+    pipeline_from_dict,
+    pipeline_to_dict,
+    pipeline_to_json,
+)
+from repro.service.batch import FleetOptimizationReport, JobResult
+
+__all__ = [
+    "BatchFailedError",
+    "ClientError",
+    "OptimizationClient",
+    "RemoteShard",
+    "fleet_to_body",
+    "report_from_dict",
+]
+
+
+class ClientError(Exception):
+    """A daemon interaction that failed (HTTP error, timeout, transport).
+
+    ``status`` carries the HTTP status code when the daemon answered
+    with one (``None`` for transport failures and client-side
+    timeouts).
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class BatchFailedError(ClientError):
+    """A submitted batch finished with ``status: failed``."""
+
+
+# ----------------------------------------------------------------------
+# Wire format: BatchOptimizer job forms -> POST /optimize body.
+# ----------------------------------------------------------------------
+def _wire_job(name, pipeline, machine=None, spec=None) -> dict:
+    job = {"name": name, "pipeline": pipeline_to_dict(pipeline)}
+    if machine is not None:
+        job["machine"] = machine.to_dict()
+    if spec is not None:
+        job["spec"] = spec.to_dict()
+    return job
+
+
+def fleet_to_body(
+    jobs: Union[Mapping[str, object], Sequence],
+    spec: Optional[OptimizeSpec] = None,
+) -> dict:
+    """Serialize a job batch into a ``POST /optimize`` body.
+
+    Accepts the same input forms as
+    :meth:`~repro.service.batch.BatchOptimizer.optimize_fleet`:
+    ``{name: pipeline}`` mappings, ``(name, pipeline[, machine])``
+    tuples, or objects with ``name``/``pipeline`` (and optionally
+    ``machine``/``spec``/``granularity``/``backend``) attributes. The
+    deprecated loose ``granularity``/``backend`` knobs are folded into
+    the job's spec (or the batch ``spec``) so they survive the wire;
+    with no spec to fold onto they are rejected — the daemon only
+    speaks :class:`OptimizeSpec`.
+    """
+    if isinstance(jobs, Mapping):
+        entries: Sequence = [(name, pipe) for name, pipe in jobs.items()]
+    else:
+        entries = list(jobs)
+    wire = []
+    for entry in entries:
+        if isinstance(entry, tuple):
+            if not 2 <= len(entry) <= 3:
+                raise ValueError(
+                    "job tuples are (name, pipeline[, machine]) on the "
+                    f"wire; got {len(entry)} elements — carry "
+                    "granularity/backend in an OptimizeSpec instead"
+                )
+            name, pipeline, *rest = entry
+            machine = rest[0] if rest else None
+            job_spec = None
+            loose: Dict[str, object] = {}
+        else:
+            name = entry.name
+            pipeline = entry.pipeline
+            machine = getattr(entry, "machine", None)
+            job_spec = getattr(entry, "spec", None)
+            loose = {
+                "granularity": getattr(entry, "granularity", None),
+                "backend": getattr(entry, "backend", None),
+            }
+        if any(v is not None for v in loose.values()):
+            base = job_spec if job_spec is not None else spec
+            if base is None:
+                raise ValueError(
+                    f"job {name!r} carries loose granularity/backend "
+                    "overrides but no OptimizeSpec to fold them into; "
+                    "give the job (or the batch) a spec"
+                )
+            job_spec = base.with_overrides(**loose)
+        wire.append(_wire_job(name, pipeline, machine, job_spec))
+    body: dict = {"jobs": wire}
+    if spec is not None:
+        body["spec"] = spec.to_dict()
+    return body
+
+
+# ----------------------------------------------------------------------
+# Report rehydration: GET /report/<id> JSON -> real report objects.
+# ----------------------------------------------------------------------
+def _rehydrate_float(value) -> float:
+    """Undo the daemon's JSON-safe float mapping (non-finite -> null)."""
+    return float(value) if value is not None else math.nan
+
+
+def report_from_dict(data: dict) -> FleetOptimizationReport:
+    """Rebuild a :class:`FleetOptimizationReport` from report JSON.
+
+    Each job's embedded program is rebuilt with
+    :func:`pipeline_from_dict` (validating it is a real program) and
+    re-serialized canonically, so a rehydrated
+    :attr:`JobResult.pipeline_json` is byte-identical to the one a
+    local :class:`~repro.service.batch.BatchOptimizer` run would carry.
+    """
+    jobs = []
+    for j in data["jobs"]:
+        pipeline = pipeline_from_dict(j["pipeline"])
+        jobs.append(
+            JobResult(
+                name=j["name"],
+                signature=j["signature"],
+                cache_hit=bool(j["cache_hit"]),
+                baseline_throughput=_rehydrate_float(
+                    j["baseline_throughput"]),
+                optimized_throughput=_rehydrate_float(
+                    j["optimized_throughput"]),
+                predicted_throughput=_rehydrate_float(
+                    j["predicted_throughput"]),
+                bottleneck=j["bottleneck"],
+                decisions=tuple(j["decisions"]),
+                pipeline_json=pipeline_to_json(pipeline),
+                cache_key=j.get("cache_key", ""),
+                provenance=j.get("provenance"),
+            )
+        )
+    return FleetOptimizationReport(
+        jobs=jobs,
+        cache_hits=data["cache_hits"],
+        cache_misses=data["cache_misses"],
+    )
+
+
+class OptimizationClient:
+    """Talk to one :class:`~repro.service.daemon.OptimizationDaemon`.
+
+    Parameters
+    ----------
+    base_url:
+        The daemon's root URL (e.g. ``daemon.url`` or
+        ``"http://host:8080"``).
+    spec:
+        Default batch :class:`OptimizeSpec` sent with every submission
+        (per-job specs still override it daemon-side).
+    timeout:
+        Socket timeout per HTTP request, seconds.
+    poll_interval / max_poll_interval:
+        :meth:`wait` starts polling at ``poll_interval`` and backs off
+        exponentially to ``max_poll_interval``.
+    max_retries:
+        How many ``429`` answers :meth:`submit` absorbs (sleeping per
+        the daemon's ``Retry-After``) before giving up.
+    max_retry_after:
+        Ceiling on one retry sleep, seconds — a daemon bug can't park
+        the client for an hour.
+    sleep / clock:
+        Injectable so tests drive retry/backoff without real waits.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        spec: Optional[OptimizeSpec] = None,
+        timeout: float = 30.0,
+        poll_interval: float = 0.05,
+        max_poll_interval: float = 1.0,
+        max_retries: int = 8,
+        max_retry_after: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.base_url = base_url.rstrip("/")
+        self.spec = spec
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.max_poll_interval = max_poll_interval
+        self.max_retries = max_retries
+        self.max_retry_after = max_retry_after
+        self._sleep = sleep
+        self._clock = clock
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.base_url!r})"
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict, Dict[str, str]]:
+        """One JSON request; HTTP error statuses return, transport
+        failures raise :class:`ClientError`."""
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=(json.dumps(body).encode("utf-8")
+                  if body is not None else None),
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.load(resp), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.load(exc)
+            except ValueError:
+                payload = {"error": f"non-JSON {exc.code} response"}
+            return exc.code, payload, dict(exc.headers)
+        except (urllib.error.URLError, OSError) as exc:
+            raise ClientError(
+                f"daemon at {self.base_url} unreachable: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _error(status: int, payload: dict, what: str) -> ClientError:
+        detail = payload.get("error", payload)
+        return ClientError(f"{what}: HTTP {status}: {detail}", status=status)
+
+    def _retry_after(self, payload: dict, headers: Mapping[str, str]) -> float:
+        """The daemon's retry hint, clamped to ``[0, max_retry_after]``."""
+        raw = headers.get("Retry-After")
+        if raw is None:
+            raw = payload.get("retry_after_seconds")
+        try:
+            delay = float(raw) if raw is not None else 1.0
+        except (TypeError, ValueError):
+            delay = 1.0
+        return min(max(delay, 0.0), self.max_retry_after)
+
+    # -- endpoints -----------------------------------------------------
+    def submit(
+        self,
+        jobs: Union[Mapping[str, object], Sequence],
+        spec: Optional[OptimizeSpec] = None,
+    ) -> dict:
+        """``POST /optimize`` a batch, riding out ``429`` saturation.
+
+        Returns the acceptance payload (``{"id", "status", "jobs"}``).
+        A saturated daemon is retried up to ``max_retries`` times,
+        sleeping per its ``Retry-After`` hint; any other non-``202``
+        answer raises :class:`ClientError` immediately.
+        """
+        body = fleet_to_body(jobs, spec=spec if spec is not None else self.spec)
+        retries = 0
+        while True:
+            status, payload, headers = self._request(
+                "POST", "/optimize", body)
+            if status == 202:
+                return payload
+            if status == 429 and retries < self.max_retries:
+                retries += 1
+                self._sleep(self._retry_after(payload, headers))
+                continue
+            raise self._error(status, payload, "submit rejected")
+
+    def status(self, batch_id: str) -> dict:
+        """``GET /jobs/<id>`` — one status snapshot."""
+        status, payload, _ = self._request("GET", f"/jobs/{batch_id}")
+        if status != 200:
+            raise self._error(status, payload, f"status of {batch_id!r}")
+        return payload
+
+    def wait(self, batch_id: str, timeout: float = 600.0) -> dict:
+        """Poll ``GET /jobs/<id>`` with backoff until done/failed."""
+        deadline = self._clock() + timeout
+        interval = self.poll_interval
+        while True:
+            payload = self.status(batch_id)
+            if payload["status"] in ("done", "failed"):
+                return payload
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                raise ClientError(
+                    f"batch {batch_id!r} still {payload['status']!r} "
+                    f"after {timeout}s"
+                )
+            self._sleep(min(interval, remaining))
+            interval = min(interval * 2, self.max_poll_interval)
+
+    def report(self, batch_id: str) -> FleetOptimizationReport:
+        """``GET /report/<id>`` rehydrated into a real report."""
+        return report_from_dict(self.raw_report(batch_id))
+
+    def raw_report(self, batch_id: str) -> dict:
+        """``GET /report/<id>`` as the daemon's JSON payload."""
+        status, payload, _ = self._request("GET", f"/report/{batch_id}")
+        if status != 200:
+            raise self._error(status, payload, f"report of {batch_id!r}")
+        return payload
+
+    def stats(self) -> dict:
+        """``GET /stats`` — cache, queue, and admission telemetry."""
+        status, payload, _ = self._request("GET", "/stats")
+        if status != 200:
+            raise self._error(status, payload, "stats")
+        return payload
+
+    def compact(self, max_age_seconds: float) -> dict:
+        """``POST /compact`` — evict stored results older than the
+        horizon (provenance age GC); returns ``{"removed",
+        "store_entries"}``."""
+        status, payload, _ = self._request(
+            "POST", "/compact", {"max_age_seconds": max_age_seconds})
+        if status != 200:
+            raise self._error(status, payload, "compact")
+        return payload
+
+    # -- the one-call surface ------------------------------------------
+    def optimize_fleet(
+        self,
+        jobs: Union[Mapping[str, object], Sequence],
+        spec: Optional[OptimizeSpec] = None,
+        timeout: float = 600.0,
+    ) -> FleetOptimizationReport:
+        """Submit, wait, and rehydrate one batch end to end.
+
+        The remote equivalent of
+        :meth:`BatchOptimizer.optimize_fleet`; a batch that finishes
+        ``failed`` raises :class:`BatchFailedError` with the daemon's
+        error string.
+        """
+        accepted = self.submit(jobs, spec=spec)
+        final = self.wait(accepted["id"], timeout=timeout)
+        if final["status"] == "failed":
+            raise BatchFailedError(
+                f"batch {accepted['id']!r} failed: "
+                f"{final.get('error', 'unknown error')}"
+            )
+        return self.report(accepted["id"])
+
+
+class RemoteShard:
+    """One logical shard host reached over HTTP.
+
+    Satisfies the :class:`~repro.service.shard.ShardedOptimizer` shard
+    contract (``optimize_fleet`` + ``stats``) by delegating to an
+    :class:`OptimizationClient`, so a front-end can mix in-process
+    :class:`~repro.service.batch.BatchOptimizer` shards and remote
+    daemon processes freely. ``stats()`` returns the daemon's cache
+    accounting (hits/misses/rate/store size) — the same mapping an
+    in-process shard reports.
+    """
+
+    def __init__(
+        self,
+        client: Union[str, OptimizationClient],
+        spec: Optional[OptimizeSpec] = None,
+        timeout: float = 600.0,
+    ) -> None:
+        if isinstance(client, str):
+            client = OptimizationClient(client, spec=spec)
+        elif spec is not None:
+            raise ValueError(
+                "pass spec either to the OptimizationClient or to "
+                "RemoteShard(url, spec=...), not both"
+            )
+        self.client = client
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        return self.client.base_url
+
+    def __repr__(self) -> str:
+        return f"RemoteShard({self.url!r})"
+
+    def optimize_fleet(
+        self, jobs: Union[Mapping[str, object], Sequence]
+    ) -> FleetOptimizationReport:
+        return self.client.optimize_fleet(jobs, timeout=self.timeout)
+
+    def stats(self) -> dict:
+        return self.client.stats()["cache"]

@@ -24,6 +24,14 @@ endpoints:
   included: all results are valid programs).
 * ``GET /stats`` — cumulative cache hit rate, store size, queue depth,
   and per-lane in-flight counts.
+* ``POST /compact`` — garbage-collect the result store by provenance
+  age. Body: ``{"max_age_seconds": <number>}``; every stored entry
+  whose ``provenance.created_at`` is at least that old is evicted, so a
+  long-lived daemon's store doesn't accumulate stale results forever.
+
+Query strings are ignored for routing (``POST /optimize?src=ci`` routes
+like ``POST /optimize``), and any unexpected error inside a handler
+answers ``500`` with a JSON body instead of dropping the connection.
 
 **Admission control** bounds in-flight work *per lane*: jobs whose spec
 names the ``analytic`` backend are microseconds of work and get a wide
@@ -408,15 +416,48 @@ class OptimizationDaemon:
             self._evict_finished()
 
     def _evict_finished(self) -> None:
-        """Drop the oldest finished batch records beyond the bound."""
+        """Drop the earliest-*finished* batch records beyond the bound.
+
+        Eviction must order by ``finished_at``, not submission order: a
+        long-running batch submitted early can finish *after* quick
+        batches submitted later, and evicting by submission order would
+        drop the record a client just saw turn ``done`` (status 200 on
+        ``/jobs/<id>`` followed by 404 on ``/report/<id>``) while
+        keeping ones that finished long ago.
+        """
         if self._max_finished is None:
             return
         with self._lock:
-            finished = [b for b in self._batches.values()
-                        if b.status in ("done", "failed")]
-            # Insertion order is submission order; evict oldest first.
+            finished = sorted(
+                (b for b in self._batches.values()
+                 if b.status in ("done", "failed")),
+                # A None finished_at (status flipped, `finally` not yet
+                # run) sorts last: never evict a batch that just ended.
+                key=lambda b: (b.finished_at is None,
+                               b.finished_at if b.finished_at is not None
+                               else 0.0),
+            )
             for stale in finished[: max(0, len(finished) - self._max_finished)]:
                 self._batches.pop(stale.id, None)
+
+    def compact(self, body: dict) -> dict:
+        """Run one ``POST /compact`` store GC pass."""
+        if not isinstance(body, dict):
+            raise _RequestError(400, "body must be a JSON object")
+        horizon = body.get("max_age_seconds")
+        if isinstance(horizon, bool) or not isinstance(horizon, (int, float)) \
+                or not horizon >= 0:
+            raise _RequestError(
+                400, "'max_age_seconds' must be a number >= 0"
+            )
+        try:
+            removed = self.optimizer.compact_store(horizon)
+        except TypeError as exc:
+            raise _RequestError(
+                501, f"store does not support compaction: {exc}"
+            )
+        return {"removed": removed,
+                "store_entries": len(self.optimizer.store)}
 
     # -- views ----------------------------------------------------------
     def _batch(self, batch_id: str) -> _Batch:
@@ -457,6 +498,10 @@ class OptimizationDaemon:
                 {
                     "name": j.name,
                     "signature": j.signature,
+                    # the full result-cache identity: remote reports
+                    # merged by FleetOptimizationReport.merge dedup
+                    # their hit arithmetic by this
+                    "cache_key": j.cache_key,
                     "cache_hit": j.cache_hit,
                     "baseline_throughput": _finite(j.baseline_throughput),
                     "optimized_throughput": _finite(j.optimized_throughput),
@@ -519,28 +564,43 @@ class _DaemonHandler(BaseHTTPRequestHandler):
             headers["Retry-After"] = "1"
         self._send_json(exc.status, payload, headers)
 
+    def _route_path(self) -> str:
+        """The request path with any query string stripped — clients
+        may pass parameters (``POST /optimize?source=ci``) without
+        breaking routing."""
+        return self.path.split("?", 1)[0]
+
+    def _read_json_body(self) -> object:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise _RequestError(400, "invalid Content-Length header")
+        try:
+            return json.loads(self.rfile.read(length) or b"null")
+        except ValueError:
+            raise _RequestError(400, "body is not valid JSON")
+
     # -- verbs ----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server convention
-        if self.path.rstrip("/") != "/optimize":
-            self._send_json(404, {"error": f"no such endpoint {self.path}"})
-            return
         try:
-            try:
-                length = int(self.headers.get("Content-Length", 0))
-            except (TypeError, ValueError):
-                raise _RequestError(400, "invalid Content-Length header")
-            try:
-                body = json.loads(self.rfile.read(length) or b"null")
-            except ValueError:
-                raise _RequestError(400, "body is not valid JSON")
-            accepted = self.daemon.submit(body)
-            self._send_json(202, accepted)
+            path = self._route_path().rstrip("/")
+            if path == "/optimize":
+                self._send_json(202, self.daemon.submit(
+                    self._read_json_body()))
+            elif path == "/compact":
+                self._send_json(200, self.daemon.compact(
+                    self._read_json_body()))
+            else:
+                raise _RequestError(
+                    404, f"no such endpoint {self.path}")
         except _RequestError as exc:
             self._send_error_json(exc)
+        except Exception as exc:  # noqa: BLE001 - answer, don't drop
+            self._send_internal_error(exc)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server convention
         try:
-            parts = [p for p in self.path.split("/") if p]
+            parts = [p for p in self._route_path().split("/") if p]
             if parts == ["stats"]:
                 self._send_json(200, self.daemon.stats())
             elif len(parts) == 2 and parts[0] == "jobs":
@@ -551,3 +611,16 @@ class _DaemonHandler(BaseHTTPRequestHandler):
                 raise _RequestError(404, f"no such endpoint {self.path}")
         except _RequestError as exc:
             self._send_error_json(exc)
+        except Exception as exc:  # noqa: BLE001 - answer, don't drop
+            self._send_internal_error(exc)
+
+    def _send_internal_error(self, exc: Exception) -> None:
+        """A bug in a handler (or the daemon behind it) must answer
+        ``500`` with a JSON error body, not propagate into
+        ``BaseHTTPRequestHandler`` and silently drop the connection."""
+        try:
+            self._send_json(500, {
+                "error": f"internal error: {type(exc).__name__}: {exc}"
+            })
+        except OSError:
+            pass  # client already gone; nothing left to answer

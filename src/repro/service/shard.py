@@ -8,6 +8,15 @@ shards ever optimize the same (pipeline, machine, spec) key. The
 assignment depends only on the signature (a canonical sha-256 digest)
 and ``num_shards``, so it is stable across processes, hosts, and runs.
 
+A shard is **anything** with ``optimize_fleet(jobs)`` + ``stats()``: an
+in-process :class:`~repro.service.batch.BatchOptimizer`, or a
+:class:`~repro.service.client.RemoteShard` bound to a daemon URL — the
+latter turns :class:`ShardedOptimizer` into a multi-process, multi-host
+front-end dispatching over HTTP. Shards are dispatched **concurrently**
+(one thread per occupied shard), so fleet wallclock is the slowest
+shard, not the sum — with remote shards, N daemon processes genuinely
+optimize in parallel.
+
 Per-shard :class:`~repro.service.batch.FleetOptimizationReport`s merge
 into one fleet-wide report via
 :meth:`~repro.service.batch.FleetOptimizationReport.merge`, whose
@@ -20,10 +29,11 @@ processes.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Mapping, Sequence, Union
 
 from repro.graph.signature import structural_signature
-from repro.service.batch import BatchOptimizer, FleetOptimizationReport
+from repro.service.batch import FleetOptimizationReport
 
 __all__ = ["shard_index", "shard_fleet", "ShardedOptimizer"]
 
@@ -82,21 +92,32 @@ def shard_fleet(
 
 
 class ShardedOptimizer:
-    """Dispatch job batches across per-shard :class:`BatchOptimizer`\\ s.
+    """Dispatch job batches concurrently across per-shard optimizers.
 
-    Each shard is one logical host: it owns its own optimizer (and
-    therefore its own result store — point each at a different
-    ``DiskStore`` directory to model independent hosts). A batch is
-    split with :func:`shard_fleet`, optimized shard by shard, and the
-    per-shard reports are merged into one fleet-wide
-    :class:`FleetOptimizationReport` with deduplicated cache
-    arithmetic. Job order in the merged report matches submission
-    order.
+    Each shard is one logical host: anything exposing
+    ``optimize_fleet(jobs) -> FleetOptimizationReport`` and
+    ``stats() -> dict`` — an in-process
+    :class:`~repro.service.batch.BatchOptimizer` (point each at a
+    different ``DiskStore`` directory to model independent hosts) or a
+    :class:`~repro.service.client.RemoteShard` talking HTTP to a daemon
+    process. A batch is split with :func:`shard_fleet`, every occupied
+    shard is dispatched on its own thread, and the per-shard reports
+    are merged into one fleet-wide :class:`FleetOptimizationReport`
+    with deduplicated cache arithmetic. Job order in the merged report
+    matches submission order.
     """
 
-    def __init__(self, optimizers: Sequence[BatchOptimizer]) -> None:
+    def __init__(self, optimizers: Sequence) -> None:
         if not optimizers:
             raise ValueError("need at least one shard optimizer")
+        for opt in optimizers:
+            if not callable(getattr(opt, "optimize_fleet", None)) or \
+                    not callable(getattr(opt, "stats", None)):
+                raise TypeError(
+                    f"shard {opt!r} does not satisfy the shard contract "
+                    "(optimize_fleet + stats); pass BatchOptimizer or "
+                    "RemoteShard instances"
+                )
         self.optimizers = tuple(optimizers)
 
     @property
@@ -122,11 +143,27 @@ class ShardedOptimizer:
                     raise ValueError(f"duplicate job name {name!r}")
                 order[name] = i
         shards = shard_fleet(jobs, self.num_shards)
-        reports = [
-            opt.optimize_fleet(shard)
+        occupied = [
+            (opt, shard)
             for opt, shard in zip(self.optimizers, shards)
             if shard
         ]
+        if len(occupied) <= 1:
+            reports = [opt.optimize_fleet(shard) for opt, shard in occupied]
+        else:
+            # One dispatcher thread per occupied shard: remote shards
+            # spend their time blocked on HTTP, in-process shards on
+            # their own pools, so fleet wallclock is the slowest shard,
+            # not the sum of all of them.
+            with ThreadPoolExecutor(
+                max_workers=len(occupied),
+                thread_name_prefix="repro-shard-dispatch",
+            ) as pool:
+                futures = [
+                    pool.submit(opt.optimize_fleet, shard)
+                    for opt, shard in occupied
+                ]
+                reports = [f.result() for f in futures]
         merged = FleetOptimizationReport.merge(reports)
         # Restore submission order (merge concatenates shard by shard).
         merged.jobs.sort(key=lambda j: order[j.name])

@@ -19,7 +19,12 @@ Entries are opaque JSON-compatible mappings; the service stores
 ``{"result": <worker result>, "provenance": {...}}`` where provenance
 records the producing trace backend, the spec's cache token, and a
 caller-injected timestamp — durable, shareable result artifacts keyed
-by configuration, in the Collective Knowledge sense.
+by configuration, in the Collective Knowledge sense. That timestamp is
+also the GC horizon: both stores implement ``compact(max_age_seconds,
+now=...)``, evicting entries whose ``provenance.created_at`` is at or
+over the age horizon so a long-lived service doesn't accumulate stale
+results forever. Entries without a numeric ``created_at`` are never
+aged out — GC only deletes what it can date.
 
 Cache keys are ``canonical_hash`` hex digests (see
 :meth:`repro.service.batch.BatchOptimizer._cache_key`), which makes them
@@ -29,13 +34,15 @@ than guessing an escaping scheme.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import string
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
+from typing import Optional, Protocol, Tuple, runtime_checkable
 from uuid import uuid4
 
 from repro.core.spec import STORE_SCHEMA_VERSION
@@ -76,12 +83,43 @@ def _check_key(key: str) -> str:
     return key
 
 
+def _check_horizon(max_age_seconds: float) -> float:
+    if not max_age_seconds >= 0:  # also rejects NaN
+        raise ValueError(
+            f"max_age_seconds must be >= 0, got {max_age_seconds!r}"
+        )
+    return max_age_seconds
+
+
+def _created_at(entry: dict) -> Optional[float]:
+    """The entry's provenance timestamp, or ``None`` when undatable."""
+    provenance = entry.get("provenance")
+    if not isinstance(provenance, dict):
+        return None
+    stamp = provenance.get("created_at")
+    if isinstance(stamp, bool) or not isinstance(stamp, (int, float)):
+        return None
+    return stamp
+
+
+def _expired(entry: dict, max_age_seconds: float, now: float) -> bool:
+    """Whether an entry's provenance age is at or over the horizon."""
+    stamp = _created_at(entry)
+    return stamp is not None and now - stamp >= max_age_seconds
+
+
 class InMemoryStore:
     """The original dict-backed cache, optionally LRU-bounded.
 
     Thread-safe: the daemon's dispatcher threads share one store, and
     the compound LRU update (lookup + move-to-end, insert + evict) must
     not interleave.
+
+    Entries are **copied on both sides of the boundary**: ``put``
+    snapshots the caller's mapping and ``get`` returns a deep copy, so
+    a caller mutating a mapping it handed in or got back can never
+    corrupt the shared cache — the same isolation :class:`DiskStore`
+    gets for free by re-parsing JSON on every read.
     """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
@@ -95,13 +133,17 @@ class InMemoryStore:
         key = _check_key(key)
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-            return entry
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+        # Stored entries are private snapshots (see put), so copying
+        # outside the lock races with nothing.
+        return copy.deepcopy(entry)
 
     def put(self, key: str, entry: dict) -> None:
         key = _check_key(key)
-        with self._lock:
+        entry = copy.deepcopy(entry)  # snapshot: later caller mutations
+        with self._lock:              # must not reach the cache
             self._entries[key] = entry
             self._entries.move_to_end(key)
             if self.max_entries is not None:
@@ -115,6 +157,26 @@ class InMemoryStore:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def compact(self, max_age_seconds: float,
+                now: Optional[float] = None) -> int:
+        """Evict entries whose provenance age is >= ``max_age_seconds``.
+
+        ``now`` is injectable for deterministic tests (wall clock by
+        default). Returns how many entries were evicted. Idempotent:
+        surviving entries only age relative to ``now``, so re-running
+        with the same arguments removes nothing further.
+        """
+        _check_horizon(max_age_seconds)
+        now = time.time() if now is None else now
+        with self._lock:
+            stale = [
+                key for key, entry in self._entries.items()
+                if _expired(entry, max_age_seconds, now)
+            ]
+            for key in stale:
+                del self._entries[key]
+        return len(stale)
 
 
 class DiskStore:
@@ -141,14 +203,14 @@ class DiskStore:
     def _path(self, key: str) -> Path:
         return self.root / (_check_key(key) + self.SUFFIX)
 
-    # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[dict]:
-        path = self._path(key)
+    @staticmethod
+    def _load(path: Path) -> Optional[dict]:
+        """Read one entry file tolerantly: anything unreadable, torn,
+        non-JSON, or schema-mismatched is ``None``, never an error."""
         try:
             with open(path, "r", encoding="utf-8") as f:
                 data = json.load(f)
         except (OSError, ValueError):
-            # Missing, unreadable, truncated, or not JSON: a miss.
             return None
         if not isinstance(data, dict):
             return None
@@ -156,6 +218,14 @@ class DiskStore:
             return None
         entry = data.get("entry")
         if not isinstance(entry, dict):
+            return None
+        return entry
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        entry = self._load(path)
+        if entry is None:
             return None
         try:
             os.utime(path)  # refresh LRU recency
@@ -193,6 +263,29 @@ class DiskStore:
             p.unlink(missing_ok=True)
         for p in self.root.glob("*" + self.SUFFIX + ".tmp-*"):
             p.unlink(missing_ok=True)
+
+    def compact(self, max_age_seconds: float,
+                now: Optional[float] = None) -> int:
+        """Evict entries whose provenance age is >= ``max_age_seconds``.
+
+        Each entry file is read directly (corruption-tolerantly) *without*
+        refreshing its LRU mtime — GC must not make every stale entry
+        look freshly used. Undatable entries — corrupt files, foreign
+        schemas, or entries with no numeric ``provenance.created_at`` —
+        are left alone. ``now`` is injectable for deterministic tests;
+        returns how many entries were deleted. Idempotent for a fixed
+        ``now``. Safe against concurrent compactors: a raced unlink
+        counts once (``missing_ok``).
+        """
+        _check_horizon(max_age_seconds)
+        now = time.time() if now is None else now
+        removed = 0
+        for path in self.root.glob("*" + self.SUFFIX):
+            entry = self._load(path)
+            if entry is not None and _expired(entry, max_age_seconds, now):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
 
     def _evict(self) -> None:
         if self.max_entries is None:

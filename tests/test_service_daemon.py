@@ -416,6 +416,135 @@ class TestAdmissionControl:
             assert _post(f"{dm.url}/optimize", body)[0] == 202
 
 
+class TestBugfixRegressions:
+    """Pinned fixes: catch-all 500s, finished_at eviction order, and
+    query-string routing. Each of these fails on the pre-fix daemon."""
+
+    def test_unexpected_get_error_answers_500_json(self, daemon):
+        """A bug anywhere under do_GET (here: a stats serializer that
+        raises) must answer 500 with a JSON error body — previously the
+        exception propagated into BaseHTTPRequestHandler and the client
+        saw a dropped connection."""
+        original = daemon.stats
+        daemon.stats = lambda: 1 / 0
+        try:
+            status, payload, _ = _get(f"{daemon.url}/stats")
+            assert status == 500
+            assert "internal error" in payload["error"]
+            assert "ZeroDivisionError" in payload["error"]
+        finally:
+            daemon.stats = original
+        # The daemon survives its own bug and keeps serving.
+        assert _get(f"{daemon.url}/stats")[0] == 200
+
+    def test_unexpected_post_error_answers_500_json(self, daemon,
+                                                    small_catalog,
+                                                    test_machine):
+        original = daemon.submit
+
+        def broken_submit(body):
+            raise RuntimeError("bug in submit")
+
+        daemon.submit = broken_submit
+        try:
+            status, payload, _ = _post(
+                f"{daemon.url}/optimize",
+                _job_body("x", small_pipeline(small_catalog), test_machine))
+            assert status == 500
+            assert "bug in submit" in payload["error"]
+        finally:
+            daemon.submit = original
+        assert _get(f"{daemon.url}/stats")[0] == 200
+
+    def test_eviction_orders_by_finished_at_not_submission(self,
+                                                           test_machine):
+        """Regression: finished batches were evicted in submission
+        order, so a batch that finished *seconds ago* could be dropped
+        (done -> 404 for its polling client) while much older finishes
+        survived. Eviction must order by finished_at."""
+        from repro.service.daemon import _Batch
+
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC),
+            max_finished_batches=2,
+        )
+        # Submission order A, B, C; finish order B (t=10), C (t=20),
+        # A (t=30) — A ran long and finished last.
+        for batch_id, finished_at in (("batch-A", 30.0), ("batch-B", 10.0),
+                                      ("batch-C", 20.0)):
+            dm._batches[batch_id] = _Batch(
+                id=batch_id, jobs=[], lanes={}, status="done",
+                submitted_at=0.0, finished_at=finished_at)
+        dm._evict_finished()
+        # The earliest *finish* (B) is evicted; A — submitted first but
+        # freshly finished — must survive.
+        assert set(dm._batches) == {"batch-A", "batch-C"}
+
+    def test_eviction_never_drops_batch_without_finished_at(self,
+                                                            test_machine):
+        """A done batch whose finally-block hasn't stamped finished_at
+        yet counts as newest, never as evictable."""
+        from repro.service.daemon import _Batch
+
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC),
+            max_finished_batches=1,
+        )
+        dm._batches["batch-X"] = _Batch(
+            id="batch-X", jobs=[], lanes={}, status="done",
+            submitted_at=0.0, finished_at=None)
+        dm._batches["batch-Y"] = _Batch(
+            id="batch-Y", jobs=[], lanes={}, status="done",
+            submitted_at=0.0, finished_at=5.0)
+        dm._evict_finished()
+        assert set(dm._batches) == {"batch-X"}
+
+    def test_query_strings_do_not_break_routing(self, daemon,
+                                                small_catalog,
+                                                test_machine):
+        """Regression: `POST /optimize?x=1` routed to 404 because the
+        path matcher compared the query string too. Both verbs must
+        split on `?` before routing."""
+        body = _job_body("qs", small_pipeline(small_catalog), test_machine)
+        status, accepted, _ = _post(f"{daemon.url}/optimize?source=ci",
+                                    body)
+        assert status == 202
+        status, payload, _ = _get(
+            f"{daemon.url}/jobs/{accepted['id']}?poll=1")
+        assert status == 200 and payload["id"] == accepted["id"]
+        assert _get(f"{daemon.url}/stats?verbose=1")[0] == 200
+        final = _wait_done(daemon.url, accepted["id"])
+        assert final["status"] == "done"
+        assert _get(f"{daemon.url}/report/{accepted['id']}?fmt=json")[0] \
+            == 200
+        # Unknown endpoints still 404 with or without a query string.
+        assert _get(f"{daemon.url}/nope?x=1")[0] == 404
+        assert _post(f"{daemon.url}/nope?x=1", {})[0] == 404
+
+
+class TestCompactEndpointRouting:
+    def test_compact_rejects_non_object_body(self, daemon):
+        status, payload, _ = _post(f"{daemon.url}/compact", [1, 2])
+        assert status == 400 and "JSON object" in payload["error"]
+
+    def test_compact_roundtrip(self, daemon, small_catalog, test_machine):
+        body = _job_body("gc", small_pipeline(small_catalog), test_machine)
+        _, accepted, _ = _post(f"{daemon.url}/optimize", body)
+        _wait_done(daemon.url, accepted["id"])
+        # Horizon of an hour: nothing is stale yet.
+        status, payload, _ = _post(f"{daemon.url}/compact",
+                                   {"max_age_seconds": 3600})
+        assert status == 200
+        assert payload == {"removed": 0, "store_entries": 1}
+        # Horizon zero: every dated entry is at/over it.
+        status, payload, _ = _post(f"{daemon.url}/compact",
+                                   {"max_age_seconds": 0})
+        assert status == 200
+        assert payload == {"removed": 1, "store_entries": 0}
+
+
 class TestDiskStoreFaultTolerance:
     def test_killed_mid_write_entry_skipped_not_fatal(self, tmp_path,
                                                       small_catalog,

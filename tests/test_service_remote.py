@@ -1,0 +1,153 @@
+"""End-to-end multi-process tests: a fleet sharded over live daemon
+*subprocesses* through the HTTP transport.
+
+The acceptance bar for distributed dispatch: a fleet fanned out by
+``ShardedOptimizer`` across two daemon processes (each with its own
+``DiskStore`` directory) must produce a merged report identical — job
+names, signatures, speedups, cache arithmetic — to the single
+``BatchOptimizer`` run of the same fleet, and a second pair of fresh
+daemon processes on the same store directories must serve the unchanged
+fleet entirely from disk *through the HTTP path* (warm restart).
+"""
+
+import os
+import selectors
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.spec import OptimizeSpec
+from repro.fleet.generator import FleetConfig, generate_pipeline_fleet
+from repro.service import BatchOptimizer, RemoteShard, ShardedOptimizer
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+FAST_SPEC = OptimizeSpec(iterations=1, backend="analytic",
+                         trace_duration=1.0, trace_warmup=0.25)
+
+#: one daemon process: binds a free port, prints it, serves until its
+#: stdin closes (the parent's shutdown signal)
+DAEMON_SCRIPT = textwrap.dedent("""
+    import sys
+    from repro.core.spec import OptimizeSpec
+    from repro.service import BatchOptimizer, DiskStore, OptimizationDaemon
+
+    spec = OptimizeSpec(iterations=1, backend="analytic",
+                        trace_duration=1.0, trace_warmup=0.25)
+    daemon = OptimizationDaemon(
+        BatchOptimizer(executor="serial", spec=spec,
+                       store=DiskStore(sys.argv[1])),
+    )
+    daemon.start()
+    print(daemon.port, flush=True)
+    sys.stdin.read()   # block until the parent closes our stdin
+    daemon.close()
+""")
+
+
+def make_fleet():
+    return generate_pipeline_fleet(
+        num_jobs=12, distinct=4, seed=7,
+        config=FleetConfig(domain_weights={"vision": 1.0},
+                           optimize_spec=FAST_SPEC),
+    )
+
+
+def _read_port(proc, timeout=60.0):
+    """The port line the daemon subprocess prints once it is serving."""
+    sel = selectors.DefaultSelector()
+    sel.register(proc.stdout, selectors.EVENT_READ)
+    try:
+        if not sel.select(timeout=timeout):
+            raise AssertionError("daemon subprocess never printed its port")
+    finally:
+        sel.close()
+    line = proc.stdout.readline().strip()
+    assert line.isdigit(), f"expected a port, got {line!r}"
+    return int(line)
+
+
+class _DaemonProcess:
+    """One daemon subprocess bound to a DiskStore directory."""
+
+    def __init__(self, store_dir):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-c", DAEMON_SCRIPT, str(store_dir)],
+            env=env, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            self.url = f"http://127.0.0.1:{_read_port(self.proc)}"
+        except Exception:
+            self.close()
+            raise
+
+    def close(self):
+        if self.proc.poll() is None:
+            try:
+                self.proc.stdin.close()   # unblocks the child's read()
+                self.proc.wait(timeout=30)
+            except (OSError, subprocess.TimeoutExpired):
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+
+
+@pytest.fixture
+def daemon_pair(tmp_path):
+    """Two daemon subprocesses with disjoint DiskStore directories,
+    restartable onto the same directories via the `spawn` handle."""
+    dirs = (tmp_path / "host0", tmp_path / "host1")
+    alive = []
+
+    def spawn():
+        procs = [_DaemonProcess(d) for d in dirs]
+        alive.extend(procs)
+        return procs
+
+    yield spawn
+    for proc in alive:
+        proc.close()
+
+
+class TestDistributedDispatch:
+    def test_sharded_over_two_daemon_processes(self, daemon_pair):
+        fleet = make_fleet()
+        local = BatchOptimizer(executor="serial",
+                               spec=FAST_SPEC).optimize_fleet(fleet)
+
+        first = daemon_pair()
+        merged = ShardedOptimizer(
+            [RemoteShard(p.url) for p in first]).optimize_fleet(fleet)
+        # Identical to the single-service run of the same fleet.
+        assert [j.name for j in merged.jobs] == [j.name for j in local.jobs]
+        assert [j.signature for j in merged.jobs] == \
+               [j.signature for j in local.jobs]
+        assert [j.speedup for j in merged.jobs] == \
+               [j.speedup for j in local.jobs]
+        assert [j.pipeline_json for j in merged.jobs] == \
+               [j.pipeline_json for j in local.jobs]
+        assert merged.cache_misses == local.cache_misses
+        assert merged.cache_hits == local.cache_hits
+        for proc in first:
+            proc.close()
+
+        # Fresh daemon processes on the same store directories: the
+        # unchanged fleet is served entirely from disk over HTTP.
+        second = daemon_pair()
+        sharded = ShardedOptimizer([RemoteShard(p.url) for p in second])
+        warm = sharded.optimize_fleet(fleet)
+        assert warm.cache_misses == 0
+        assert warm.cache_hit_rate == 1.0
+        assert [j.pipeline_json for j in warm.jobs] == \
+               [j.pipeline_json for j in local.jobs]
+        stats = sharded.stats()
+        assert stats["cache_misses"] == 0
+        assert stats["store_entries"] == local.cache_misses

@@ -183,6 +183,80 @@ class TestShardedOptimizer:
         with pytest.raises(ValueError):
             ShardedOptimizer([])
 
+    def test_shard_contract_enforced(self):
+        """A shard is anything with optimize_fleet + stats; anything
+        else is rejected at construction, not deep inside dispatch."""
+        class HalfShard:
+            def optimize_fleet(self, jobs):
+                return None
+
+        with pytest.raises(TypeError, match="shard contract"):
+            ShardedOptimizer([object()])
+        with pytest.raises(TypeError, match="shard contract"):
+            ShardedOptimizer([HalfShard()])
+
+    def test_dispatch_is_concurrent_not_sequential(self):
+        """Acceptance: on a delayed-shard fixture, fleet wallclock must
+        be under the *sum* of per-shard times — shards run on their own
+        dispatcher threads, so total time tracks the slowest shard."""
+        import time as _time
+
+        class DelayedShard:
+            """A shard whose optimize_fleet blocks before delegating,
+            timing its own busy window."""
+
+            def __init__(self, delay=0.35):
+                self.inner = BatchOptimizer(executor="serial",
+                                            spec=FAST_SPEC)
+                self.delay = delay
+                self.busy_seconds = 0.0
+
+            def optimize_fleet(self, jobs):
+                start = _time.perf_counter()
+                _time.sleep(self.delay)
+                report = self.inner.optimize_fleet(jobs)
+                self.busy_seconds = _time.perf_counter() - start
+                return report
+
+            def stats(self):
+                return self.inner.stats()
+
+        fleet = make_fleet()
+        shards = [DelayedShard() for _ in range(3)]
+        sharded = ShardedOptimizer(shards)
+        start = _time.perf_counter()
+        merged = sharded.optimize_fleet(fleet)
+        wallclock = _time.perf_counter() - start
+
+        occupied = [s for s in shards if s.busy_seconds > 0]
+        assert len(occupied) >= 2  # the fixture must actually fan out
+        per_shard_sum = sum(s.busy_seconds for s in occupied)
+        # Sequential dispatch would take at least the sum of per-shard
+        # times; concurrent dispatch tracks the slowest shard.
+        assert wallclock < per_shard_sum
+        assert wallclock < 0.35 * len(occupied)
+        # Concurrency must not change results.
+        reference = BatchOptimizer(executor="serial",
+                                   spec=FAST_SPEC).optimize_fleet(fleet)
+        assert [j.name for j in merged.jobs] == \
+               [j.name for j in reference.jobs]
+        assert [j.optimized_throughput for j in merged.jobs] == \
+               [j.optimized_throughput for j in reference.jobs]
+
+    def test_shard_error_propagates(self):
+        class BoomShard:
+            def optimize_fleet(self, jobs):
+                raise RuntimeError("shard host down")
+
+            def stats(self):
+                return {}
+
+        fleet = make_fleet()
+        sharded = ShardedOptimizer([BoomShard(), BoomShard(),
+                                    BoomShard()])
+        with pytest.raises(RuntimeError, match="shard host down"):
+            sharded.optimize_fleet(fleet)
+
     def test_duplicate_names_rejected_even_across_shards(self,
                                                          small_catalog):
         """BatchOptimizer rejects duplicate names; the sharded front-end

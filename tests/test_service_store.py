@@ -10,6 +10,7 @@ import os
 import subprocess
 import sys
 import textwrap
+import time
 from pathlib import Path
 
 import pytest
@@ -152,6 +153,174 @@ class TestDiskStore:
     def test_satisfies_result_store_protocol(self, tmp_path):
         assert isinstance(DiskStore(tmp_path), ResultStore)
         assert isinstance(InMemoryStore(), ResultStore)
+
+
+@pytest.fixture(params=["memory", "disk"])
+def any_store(request, tmp_path):
+    """Both store implementations, behavioral-parity tested."""
+    if request.param == "memory":
+        return InMemoryStore()
+    return DiskStore(tmp_path)
+
+
+class TestStoreAliasingParity:
+    """Regression: InMemoryStore.get returned the cached entry dict
+    itself, so a caller mutating the returned mapping silently
+    corrupted the shared cache — diverging from DiskStore, which
+    re-parses per read. Both stores must isolate callers."""
+
+    @staticmethod
+    def entry():
+        # A fresh mapping per use: comparing against a shared constant
+        # would alias through the very bug this class pins.
+        return {"result": {"pipeline": "{}", "decisions": ["d"]},
+                "provenance": {"producer": "analytic",
+                               "created_at": 100.0}}
+
+    def test_mutating_a_read_entry_does_not_corrupt_the_cache(self,
+                                                              any_store):
+        any_store.put("k", self.entry())
+        first = any_store.get("k")
+        first["provenance"]["created_at"] = -1.0
+        first["result"]["decisions"].append("evil")
+        del first["result"]["pipeline"]
+        assert any_store.get("k") == self.entry()
+
+    def test_mutating_the_put_mapping_does_not_reach_the_cache(self,
+                                                               any_store):
+        entry = {"result": {"x": 1}, "provenance": {"created_at": 5.0}}
+        any_store.put("k", entry)
+        entry["result"]["x"] = 999
+        entry["provenance"]["created_at"] = -1.0
+        assert any_store.get("k") == {"result": {"x": 1},
+                                      "provenance": {"created_at": 5.0}}
+
+    def test_reads_are_mutually_isolated(self, any_store):
+        any_store.put("k", self.entry())
+        a = any_store.get("k")
+        b = any_store.get("k")
+        a["result"]["decisions"].append("mine")
+        assert b == self.entry()
+
+
+def _dated(created_at):
+    return {"result": {"v": 1},
+            "provenance": {"producer": "analytic",
+                           "created_at": created_at}}
+
+
+class TestCompactGC:
+    """Provenance-age GC properties, pinned identically on both stores:
+    entries at/over the horizon are evicted, newer entries survive, the
+    pass is idempotent, and undatable entries are never aged out."""
+
+    def test_at_or_over_horizon_evicted_newer_survive(self, any_store):
+        any_store.put("ancient", _dated(100.0))   # age 100
+        any_store.put("boundary", _dated(150.0))  # age 50 == horizon
+        any_store.put("fresh", _dated(190.0))     # age 10
+        removed = any_store.compact(50, now=200.0)
+        assert removed == 2
+        assert any_store.get("ancient") is None
+        assert any_store.get("boundary") is None  # at the horizon: out
+        assert any_store.get("fresh") == _dated(190.0)
+        assert len(any_store) == 1
+
+    def test_idempotent_for_fixed_now(self, any_store):
+        any_store.put("old", _dated(10.0))
+        any_store.put("new", _dated(95.0))
+        assert any_store.compact(60, now=100.0) == 1
+        assert any_store.compact(60, now=100.0) == 0
+        assert any_store.keys() == ("new",)
+
+    def test_horizon_zero_evicts_every_dated_entry(self, any_store):
+        any_store.put("a", _dated(100.0))
+        any_store.put("b", _dated(200.0))
+        assert any_store.compact(0, now=200.0) == 2
+        assert len(any_store) == 0
+
+    def test_undatable_entries_are_never_aged_out(self, any_store):
+        undatable = {
+            "no_provenance": {"result": {"v": 1}},
+            "prov_not_dict": {"result": {}, "provenance": "analytic"},
+            "stamp_missing": {"result": {}, "provenance": {}},
+            "stamp_string": {"result": {},
+                             "provenance": {"created_at": "2026-07-29"}},
+            "stamp_bool": {"result": {},
+                           "provenance": {"created_at": True}},
+        }
+        for key, entry in undatable.items():
+            any_store.put(key, entry)
+        any_store.put("dated", _dated(0.0))
+        assert any_store.compact(0, now=1e9) == 1
+        assert sorted(any_store.keys()) == sorted(undatable)
+
+    def test_invalid_horizon_rejected(self, any_store):
+        for bad in (-1, -0.5, float("nan")):
+            with pytest.raises(ValueError, match="max_age_seconds"):
+                any_store.compact(bad, now=0.0)
+
+    def test_wallclock_default_now(self, any_store):
+        """now=None falls back to wall clock: a just-written entry
+        survives a generous horizon and dies under a zero horizon."""
+        any_store.put("k", _dated(time.time()))
+        assert any_store.compact(3600) == 0
+        assert any_store.compact(0) == 1
+
+    def test_disk_compact_ignores_corrupt_files(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("good", _dated(0.0))
+        (tmp_path / "torn.json").write_text('{"schema": 1, "entry": {"re')
+        assert store.compact(0, now=1e9) == 1
+        # The torn file is not an entry; GC leaves it for clear().
+        assert (tmp_path / "torn.json").exists()
+
+    def test_disk_compact_does_not_refresh_lru_recency(self, tmp_path):
+        """GC reads must not touch mtimes — compaction making every
+        survivor look freshly used would break the LRU bound."""
+        store = DiskStore(tmp_path)
+        store.put("survivor", _dated(1e12))
+        os.utime(tmp_path / "survivor.json", (1000, 1000))
+        store.compact(3600, now=1e12)
+        assert (tmp_path / "survivor.json").stat().st_mtime == 1000
+
+
+class TestCompactStoreOnService:
+    def test_compact_store_uses_the_injected_clock(self, tmp_path):
+        tick = [100.0]
+        svc = BatchOptimizer(executor="serial", spec=FAST_SPEC,
+                             store=DiskStore(tmp_path),
+                             clock=lambda: tick[0])
+        svc.optimize_fleet(make_fleet())   # provenance stamped at t=100
+        entries = len(svc.store)
+        tick[0] = 250.0
+        assert svc.compact_store(200) == 0        # age 150 < 200
+        assert svc.compact_store(150) == entries  # age 150 >= 150
+        assert len(svc.store) == 0
+
+    def test_explicit_now_overrides_clock(self):
+        svc = BatchOptimizer(executor="serial", spec=FAST_SPEC,
+                             clock=lambda: 0.0)
+        svc.store.put("k", {"result": {}, "provenance": {"created_at": 50.0}})
+        assert svc.compact_store(10, now=100.0) == 1
+
+    def test_store_without_compact_raises_type_error(self):
+        class NoCompact:
+            def get(self, key):
+                return None
+
+            def put(self, key, entry):
+                pass
+
+            def keys(self):
+                return ()
+
+            def __len__(self):
+                return 0
+
+        svc = BatchOptimizer(executor="serial", spec=FAST_SPEC,
+                             store=NoCompact())
+        with pytest.raises(TypeError, match="compact"):
+            svc.compact_store(60)
 
 
 class TestBatchOptimizerWithDiskStore:
