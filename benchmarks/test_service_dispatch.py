@@ -28,6 +28,7 @@ from repro.core.spec import OptimizeSpec
 from repro.fleet.generator import FleetConfig, generate_pipeline_fleet
 from repro.service import (
     BatchOptimizer,
+    OptimizationClient,
     OptimizationDaemon,
     RemoteShard,
     ShardedOptimizer,
@@ -114,6 +115,24 @@ class TestShardDispatch:
             remote = once(shard.optimize_fleet, fleet)
             remote_s = time.perf_counter() - start
 
+            # Per-request transport cost, before/after keep-alive: the
+            # client holds one persistent connection; closing it after
+            # every request reproduces the old one-TCP-handshake-per-
+            # request behaviour on identical requests.
+            client = OptimizationClient(daemon.url)
+            client.stats()  # warm the route once
+            requests = 200
+            start = time.perf_counter()
+            for _ in range(requests):
+                client.stats()
+                client.close()
+            fresh_ms = (time.perf_counter() - start) / requests * 1e3
+            start = time.perf_counter()
+            for _ in range(requests):
+                client.stats()
+            reused_ms = (time.perf_counter() - start) / requests * 1e3
+            client.close()
+
         assert [j.name for j in remote.jobs] == [j.name for j in local.jobs]
         assert [j.speedup for j in remote.jobs] == \
                [j.speedup for j in local.jobs]
@@ -123,6 +142,11 @@ class TestShardDispatch:
             ("in-process optimize_fleet", f"{local_s * 1e3:.1f} ms"),
             ("HTTP submit→poll→rehydrate", f"{remote_s * 1e3:.1f} ms"),
             ("transport overhead / job", f"{overhead_ms:.2f} ms"),
+            ("per-request, fresh connection", f"{fresh_ms:.3f} ms"),
+            ("per-request, keep-alive", f"{reused_ms:.3f} ms"),
+            ("keep-alive saving / request",
+             f"{fresh_ms - reused_ms:.3f} ms "
+             f"({fresh_ms / reused_ms:.2f}x)"),
         ]
         emit("BENCH_service_http_overhead",
              format_table(("metric", "value"), rows,
@@ -130,3 +154,6 @@ class TestShardDispatch:
         # The HTTP hop must stay cheap relative to even one simulated
         # trace (hundreds of ms): a loose sanity bound, not a race.
         assert overhead_ms < 250
+        # Keep-alive must never make the common poll loop slower; the
+        # generous factor keeps this off the flaky-timing list.
+        assert reused_ms < fresh_ms * 1.5

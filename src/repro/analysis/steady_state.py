@@ -26,10 +26,12 @@ from repro.graph.datasets import (
     CacheNode,
     DatasetNode,
     FilterNode,
+    InterleaveDatasetsNode,
     InterleaveSourceNode,
     MapNode,
     Pipeline,
     ShuffleNode,
+    ZipNode,
 )
 from repro.host.machine import Machine
 
@@ -82,6 +84,9 @@ def node_service(node: DatasetNode, machine: Machine) -> tuple:
         return duration, duration
     if isinstance(node, CacheNode):
         duration = node.read_cpu_seconds_per_element / machine.core_speed
+        return duration, duration
+    if isinstance(node, (ZipNode, InterleaveDatasetsNode)):
+        duration = node.cpu_seconds_per_element / machine.core_speed
         return duration, duration
     return 0.0, 0.0
 

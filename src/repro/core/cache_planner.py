@@ -66,6 +66,46 @@ def plan_cache_greedy(
     return None
 
 
+def plan_cache_per_branch(
+    model: PipelineModel,
+    memory: Optional[MemoryBudget] = None,
+) -> List[CacheDecision]:
+    """Greedy closest-to-root caching, one cache per disjoint subtree.
+
+    On a chain this returns exactly :func:`plan_cache_greedy`'s single
+    decision. On a multi-source DAG, when the merged stream (or anything
+    above it) is uncacheable — randomness taint, infinite cardinality,
+    or materialized size over budget — each branch can still cache
+    independently: candidates are scanned closest-to-root first, and
+    accepting one marks its whole subtree as covered, so the scan only
+    ever adds caches in *other* branches. All decisions draw on the one
+    shared memory budget.
+    """
+    if memory is None:
+        memory = MemoryBudget(model.trace.host.memory_bytes)
+    decisions: List[CacheDecision] = []
+    covered: set = set()
+    reserved = 0.0
+    # Reversed-topological candidate order guarantees a node is visited
+    # before anything in its subtree, so accepted subtrees are disjoint.
+    for rates in model.cache_candidates():
+        if rates.name in covered:
+            continue
+        if not math.isfinite(rates.materialized_bytes):
+            continue
+        if not memory.fits(reserved + rates.materialized_bytes):
+            continue
+        decisions.append(
+            CacheDecision(
+                target=rates.name,
+                materialized_bytes=rates.materialized_bytes,
+            )
+        )
+        reserved += rates.materialized_bytes
+        covered |= _subtree_names(model, rates.name)
+    return decisions
+
+
 def plan_cache_exhaustive(
     model: PipelineModel,
     memory: Optional[MemoryBudget] = None,

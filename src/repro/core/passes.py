@@ -43,7 +43,7 @@ from typing import (
     runtime_checkable,
 )
 
-from repro.core.cache_planner import CacheDecision, plan_cache_greedy
+from repro.core.cache_planner import CacheDecision, plan_cache_per_branch
 from repro.core.lp import LPSolution, solve_allocation
 from repro.core.prefetch_planner import plan_prefetch
 from repro.core.rates import PipelineModel
@@ -162,6 +162,9 @@ class PassContext:
     iteration: int = 0
     lp: Optional[LPSolution] = None
     cache: Optional[CacheDecision] = None
+    #: all cache decisions this optimization planned (one per branch on
+    #: multi-source DAGs); ``cache`` remains the closest-to-root one.
+    caches: List[CacheDecision] = field(default_factory=list)
 
     @property
     def pipeline(self) -> Pipeline:
@@ -231,29 +234,36 @@ class PrefetchPass:
 class CachePass:
     """Greedy closest-to-root cache placement (§4.3, §4.4).
 
-    Plans at most one cache per optimization (re-planning after the
-    cache is inserted would stack caches); the decision and its memory
-    reservation are recorded on the context.
+    Plans caches at most once per optimization (re-planning after they
+    are inserted would stack caches). On a chain exactly one cache is
+    placed; on a multi-source DAG whose merged stream is uncacheable,
+    each branch may get its own cache from the shared memory budget.
+    All decisions and their reservations are recorded on the context;
+    ``ctx.cache`` stays the closest-to-root decision.
     """
 
     name = "cache"
 
     def plan(self, ctx: PassContext) -> List[Action]:
-        if ctx.cache is not None:
+        if ctx.cache is not None or ctx.caches:
             return []
-        cache = plan_cache_greedy(ctx.model, ctx.memory)
-        if cache is None:
+        caches = plan_cache_per_branch(ctx.model, ctx.memory)
+        if not caches:
             return []
-        ctx.cache = cache
-        ctx.memory.reserve(
-            f"cache_{cache.target}", cache.materialized_bytes
-        )
-        return [
-            InsertCache(
-                target=cache.target,
-                description=f"iter{ctx.iteration}: {cache}",
+        ctx.caches = list(caches)
+        ctx.cache = caches[0]
+        actions: List[Action] = []
+        for cache in caches:
+            ctx.memory.reserve(
+                f"cache_{cache.target}", cache.materialized_bytes
             )
-        ]
+            actions.append(
+                InsertCache(
+                    target=cache.target,
+                    description=f"iter{ctx.iteration}: {cache}",
+                )
+            )
+        return actions
 
 
 class FusePrefetchPass:

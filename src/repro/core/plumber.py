@@ -53,6 +53,9 @@ class OptimizationResult:
     predicted_throughput: float = math.nan
     #: observed throughput of the *unoptimized* pipeline's first trace
     baseline_throughput: float = math.nan
+    #: every cache planned (one per branch on multi-source DAGs);
+    #: ``cache`` is the closest-to-root entry, kept for compatibility
+    caches: List[CacheDecision] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -257,6 +260,7 @@ class Plumber:
             decisions=decisions,
             predicted_throughput=predicted,
             baseline_throughput=baseline_throughput,
+            caches=list(ctx.caches),
         )
 
     # ------------------------------------------------------------------

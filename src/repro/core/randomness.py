@@ -52,8 +52,11 @@ def tainted_nodes(pipeline: Pipeline) -> Set[str]:
     tainted: Set[str] = set()
 
     def visit(node: DatasetNode) -> bool:
-        child_tainted = any(visit(c) for c in node.inputs)
-        is_tainted = child_tainted or node_is_random(node)
+        # Materialize before any(): lazy short-circuiting would skip the
+        # remaining branches of a merge node, leaving their random UDFs
+        # untainted.
+        child_flags = [visit(c) for c in node.inputs]
+        is_tainted = any(child_flags) or node_is_random(node)
         if is_tainted:
             tainted.add(node.name)
         return is_tainted

@@ -25,10 +25,12 @@ from repro.graph.datasets import (
     BatchNode,
     CacheNode,
     DatasetNode,
+    InterleaveDatasetsNode,
     InterleaveSourceNode,
     Pipeline,
     RepeatNode,
     TakeNode,
+    ZipNode,
 )
 
 
@@ -250,6 +252,17 @@ def _propagate_cardinality(
     for node in pipeline.topological_order():
         if isinstance(node, InterleaveSourceNode):
             out[node.name] = source_estimates[node.name].estimated_records
+            continue
+        if isinstance(node, ZipNode):
+            # Lockstep: the stream ends with the shortest branch.
+            out[node.name] = min(out[c.name] for c in node.inputs)
+            continue
+        if isinstance(node, InterleaveDatasetsNode):
+            # The mix ends when branch i runs dry after n_i / w_i outputs.
+            out[node.name] = min(
+                out[c.name] / w
+                for w, c in zip(node.weights, node.inputs)
+            )
             continue
         child = node.inputs[0]
         n_child = out[child.name]

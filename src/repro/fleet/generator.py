@@ -8,7 +8,11 @@ of configurations rather than being sampled directly.
 Population structure, mirroring §3's narrative:
 
 * domains: vision (heavy decode UDFs), NLP (tiny ops dominated by
-  framework overhead), RL (medium, bursty);
+  framework overhead), RL (medium, bursty); plus two multi-source
+  templates — ``multimodal`` (vision + caption branches merged in
+  lockstep by ``zip``) and ``rl_replay`` (fresh rollouts interleaved
+  with cheap replay-buffer reads by weight) — off by default in
+  ``domain_weights`` so the §3 population is unchanged;
 * configurations: a fraction of jobs are well tuned, a fraction
   partially tuned, and a fraction naive (parallelism 1, no prefetch) —
   the software misconfigurations Observation 2 attributes stalls to;
@@ -25,7 +29,11 @@ import numpy as np
 
 from repro.analysis.steady_state import predict_throughput
 from repro.core.spec import OptimizeSpec
-from repro.graph.builder import from_tfrecords
+from repro.graph.builder import (
+    from_tfrecords,
+    interleave_datasets,
+    zip_datasets,
+)
 from repro.graph.signature import infer_signatures
 from repro.graph.udf import CostModel, UserFunction
 from repro.host.disk import cloud_storage, hdd_st4000, local_ssd_fast, nvme_p3600
@@ -116,41 +124,86 @@ def _choice(rng: np.random.Generator, weights: Dict[str, float]) -> str:
     return names[rng.choice(len(names), p=probs)]
 
 
-def _build_job_pipeline(rng: np.random.Generator, domain: str, config: str):
-    """A random small pipeline in the given domain and tuning state."""
+def _par_sampler(rng: np.random.Generator, config: str):
+    """Per-stage parallelism sampler matching the tuning state."""
+    cores_hint = 16
+    if config == "tuned":
+        return lambda: cores_hint
+    if config == "partial":
+        return lambda: int(rng.integers(3, cores_hint + 1))
+    return lambda: 1
+
+
+def _build_branch(rng: np.random.Generator, domain: str, prefix: str, par):
+    """One source→maps subgraph in the given domain (no trailing stages)."""
     params = _DOMAIN_PARAMS[domain]
     n_ops = int(rng.integers(params["ops"][0], params["ops"][1] + 1))
     catalog = FileCatalog(
-        name=f"fleet_{domain}",
+        name=f"fleet_{prefix}_{domain}" if prefix else f"fleet_{domain}",
         num_files=int(rng.integers(16, 256)),
         records_per_file=float(rng.integers(200, 2000)),
         bytes_per_record=params["record_bytes"] * float(rng.lognormal(0, 0.3)),
         seed=int(rng.integers(0, 2**31)),
     )
-    cores_hint = 16
-    if config == "tuned":
-        par = lambda: cores_hint  # noqa: E731 - tiny sampler
-    elif config == "partial":
-        par = lambda: int(rng.integers(3, cores_hint + 1))  # noqa: E731
-    else:
-        par = lambda: 1  # noqa: E731
-
-    ds = from_tfrecords(catalog, parallelism=par(), name="src",
+    src_name = f"{prefix}_src" if prefix else "src"
+    ds = from_tfrecords(catalog, parallelism=par(), name=src_name,
                         read_cpu_seconds_per_record=1e-5)
     for i in range(n_ops):
         cost = params["op_cost"] * float(rng.lognormal(0, params["op_sigma"]))
         udf = UserFunction(
-            f"op{i}",
+            f"{prefix}_op{i}" if prefix else f"op{i}",
             cost=CostModel(cpu_seconds=cost),
             size_ratio=params["size_ratio"] if i == 0 else 1.0,
         )
-        ds = ds.map(udf, parallelism=par(), name=f"map_{i}")
+        map_name = f"{prefix}_map_{i}" if prefix else f"map_{i}"
+        ds = ds.map(udf, parallelism=par(), name=map_name)
+    return ds
+
+
+def _finish_job(ds, config: str, batch: int, name: str):
+    """Common trailing stages: shuffle, batch, (prefetch), repeat."""
     ds = ds.shuffle(256, cpu_seconds_per_element=2e-6, name="shuffle")
-    ds = ds.batch(params["batch"], name="batch")
+    ds = ds.batch(batch, name="batch")
     if config != "naive":
         ds = ds.prefetch(8, name="prefetch")
     ds = ds.repeat(None, name="repeat")
-    return ds.build(f"fleet_{domain}_{config}", validate=False)
+    return ds.build(name, validate=False)
+
+
+def _build_job_pipeline(rng: np.random.Generator, domain: str, config: str):
+    """A random small pipeline in the given domain and tuning state."""
+    par = _par_sampler(rng, config)
+    if domain == "multimodal":
+        # Vision frames zipped in lockstep with their text captions —
+        # the heavy decode branch throttles the merge, the caption
+        # branch idles (the fleet's canonical thin-branch-margin case).
+        merged = zip_datasets(
+            [
+                _build_branch(rng, "vision", "img", par),
+                _build_branch(rng, "nlp", "txt", par),
+            ],
+            name="zip_modalities",
+        )
+        return _finish_job(merged, config, batch=64,
+                           name=f"fleet_{domain}_{config}")
+    if domain == "rl_replay":
+        # Fresh environment rollouts mixed with cheap replay-buffer
+        # reads at a sampled replay ratio.
+        fresh_weight = float(rng.uniform(0.3, 0.7))
+        merged = interleave_datasets(
+            [
+                _build_branch(rng, "rl", "fresh", par),
+                _build_branch(rng, "rl", "replay", par),
+            ],
+            weights=[fresh_weight, 1.0 - fresh_weight],
+            name="replay_mix",
+        )
+        return _finish_job(merged, config, batch=8,
+                           name=f"fleet_{domain}_{config}")
+    params = _DOMAIN_PARAMS[domain]
+    ds = _build_branch(rng, domain, "", par)
+    return _finish_job(ds, config, batch=params["batch"],
+                       name=f"fleet_{domain}_{config}")
 
 
 @dataclass(frozen=True)

@@ -5,18 +5,24 @@ Example
 >>> ds = from_tfrecords(catalog, parallelism=4)
 >>> ds = ds.map(parse).map(decode, parallelism=8).shuffle(1024)
 >>> pipe = ds.batch(128).prefetch(10).build("imagenet")
+
+Multi-source graphs merge independently built branches:
+
+>>> pairs = zip_datasets([images.map(decode), captions.map(tokenize)])
+>>> pipe = pairs.batch(64).prefetch(8).build("multimodal")
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.graph.datasets import (
     BatchNode,
     CacheNode,
     DatasetNode,
     FilterNode,
+    InterleaveDatasetsNode,
     InterleaveSourceNode,
     MapNode,
     Pipeline,
@@ -25,6 +31,7 @@ from repro.graph.datasets import (
     ShuffleAndRepeatNode,
     ShuffleNode,
     TakeNode,
+    ZipNode,
 )
 from repro.graph.udf import UserFunction
 from repro.graph.validate import validate_pipeline
@@ -188,3 +195,54 @@ def from_tfrecords(
 # ``from_source`` is an alias emphasizing that any record-oriented catalog
 # works, not just TFRecords.
 from_source = from_tfrecords
+
+
+def _branch_nodes(branches: Sequence) -> list:
+    """Unwrap builders (or accept bare nodes) into merge inputs."""
+    nodes = []
+    for branch in branches:
+        node = branch.node if isinstance(branch, DatasetBuilder) else branch
+        if not isinstance(node, DatasetNode):
+            raise TypeError(
+                f"merge inputs must be DatasetBuilder or DatasetNode, "
+                f"got {type(branch).__name__}"
+            )
+        nodes.append(node)
+    return nodes
+
+
+def zip_datasets(
+    branches: Sequence,
+    cpu_seconds_per_element: float = 0.0,
+    name: Optional[str] = None,
+) -> DatasetBuilder:
+    """Merge branches in lockstep: one output pairs one element from
+    every branch (``tf.data.Dataset.zip``). Continue chaining from the
+    returned builder."""
+    return DatasetBuilder(
+        ZipNode(
+            _auto_name("zip", name),
+            _branch_nodes(branches),
+            cpu_seconds_per_element=cpu_seconds_per_element,
+        )
+    )
+
+
+def interleave_datasets(
+    branches: Sequence,
+    weights: Optional[Sequence[float]] = None,
+    cpu_seconds_per_element: float = 0.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> DatasetBuilder:
+    """Mix branches by weighted round-robin sampling (replay-buffer
+    mixing). ``weights`` are normalized; ``None`` means uniform."""
+    return DatasetBuilder(
+        InterleaveDatasetsNode(
+            _auto_name("interleave_datasets", name),
+            _branch_nodes(branches),
+            weights=weights,
+            cpu_seconds_per_element=cpu_seconds_per_element,
+            seed=seed,
+        )
+    )

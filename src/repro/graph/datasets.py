@@ -13,7 +13,12 @@ paper's five MLPerf pipelines (Figure 1, Figure 2, §2.1):
   buffered sampling,
 * :class:`RepeatNode`, :class:`TakeNode`,
 * :class:`PrefetchNode` — decoupling buffer,
-* :class:`CacheNode` — in-memory materialization.
+* :class:`CacheNode` — in-memory materialization,
+* :class:`ZipNode` / :class:`InterleaveDatasetsNode` — multi-input
+  merges (lockstep zip and weighted round-robin mixing), turning the
+  chain into a rooted in-tree: every node still has exactly one
+  consumer, but merge nodes pull from two or more child subgraphs
+  (image+caption multimodal, RL replay-buffer mixing).
 
 Nodes are immutable-ish descriptors; execution state lives in
 :mod:`repro.runtime`.
@@ -48,6 +53,10 @@ class DatasetNode:
     kind: str = "dataset"
     #: whether ``parallelism`` may be rewritten by a tuner
     tunable: bool = False
+    #: declared input arity: ``0`` for sources, ``1`` for chain
+    #: operators, ``None`` for variadic merge nodes (two or more
+    #: inputs); checked by :func:`repro.graph.validate.validate_pipeline`
+    input_arity: Optional[int] = 1
 
     def __init__(
         self,
@@ -81,10 +90,30 @@ class DatasetNode:
         """The user function attached to this node, if any."""
         return getattr(self, "_udf", None)
 
+    @property
+    def merges(self) -> bool:
+        """True for fan-in nodes (declared variadic input arity)."""
+        return self.input_arity is None
+
     def elements_ratio(self) -> float:
         """Mean elements produced per element consumed (the local visit
         ratio ``C_i / C_{i-1}`` in steady state)."""
         return 1.0
+
+    def input_consumption(self, index: int) -> float:
+        """Mean elements consumed from input ``index`` per element this
+        node produces.
+
+        For chain operators this is ``1 / elements_ratio()`` — the §4.4
+        recurrence read edge-wise — so single-input semantics are
+        unchanged. Merge nodes override it per input: a zip consumes one
+        element from *every* input per output, an interleave consumes
+        ``weight[i]`` elements from input ``i`` on average.
+        """
+        ratio = self.elements_ratio()
+        if ratio <= 0:
+            return math.inf
+        return 1.0 / ratio
 
     def attrs(self) -> dict:
         """Node-specific serializable attributes."""
@@ -112,6 +141,7 @@ class InterleaveSourceNode(DatasetNode):
 
     kind = "interleave_source"
     tunable = True
+    input_arity = 0
 
     def __init__(
         self,
@@ -433,6 +463,119 @@ class CacheNode(DatasetNode):
         )
 
 
+class ZipNode(DatasetNode):
+    """Lockstep merge: one output element pairs one element from every
+    input (``tf.data.Dataset.zip``).
+
+    The zip ticks at the rate of its slowest input; per output it
+    consumes exactly one element from each branch, so the output's bytes
+    are the *sum* of the branch elements' bytes. The stream ends when
+    any input is exhausted (shorter branches truncate the longer ones).
+    """
+
+    kind = "zip"
+    tunable = False
+    input_arity = None
+
+    def __init__(
+        self,
+        name: str,
+        input_nodes: Sequence[DatasetNode],
+        cpu_seconds_per_element: float = 0.0,
+    ) -> None:
+        if len(input_nodes) < 2:
+            raise ValueError(
+                f"zip needs at least 2 inputs, got {len(input_nodes)}"
+            )
+        super().__init__(name, inputs=input_nodes, parallelism=None)
+        self.cpu_seconds_per_element = cpu_seconds_per_element
+
+    def input_consumption(self, index: int) -> float:
+        return 1.0
+
+    def attrs(self) -> dict:
+        return {"cpu_seconds_per_element": self.cpu_seconds_per_element}
+
+    def copy_with(self, **overrides) -> "ZipNode":
+        return ZipNode(
+            name=overrides.get("name", self.name),
+            input_nodes=overrides.get("input_nodes", self.inputs),
+            cpu_seconds_per_element=overrides.get(
+                "cpu_seconds_per_element", self.cpu_seconds_per_element
+            ),
+        )
+
+
+class InterleaveDatasetsNode(DatasetNode):
+    """Weighted round-robin merge over child subgraphs
+    (``tf.data.Dataset.sample_from_datasets``-style replay mixing).
+
+    Per output element, input ``i`` contributes with probability
+    ``weights[i]`` (normalized), so on average the node consumes
+    ``weights[i]`` elements from branch ``i`` per output. The mixed
+    stream ends when the first branch is exhausted, keeping the declared
+    mix exact for the whole stream.
+    """
+
+    kind = "interleave_datasets"
+    tunable = False
+    input_arity = None
+
+    def __init__(
+        self,
+        name: str,
+        input_nodes: Sequence[DatasetNode],
+        weights: Optional[Sequence[float]] = None,
+        cpu_seconds_per_element: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if len(input_nodes) < 2:
+            raise ValueError(
+                "interleave_datasets needs at least 2 inputs, "
+                f"got {len(input_nodes)}"
+            )
+        super().__init__(name, inputs=input_nodes, parallelism=None)
+        if weights is None:
+            weights = [1.0] * len(input_nodes)
+        if len(weights) != len(input_nodes):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(input_nodes)} inputs"
+            )
+        if any(not w > 0 for w in weights):
+            raise ValueError(f"weights must be > 0, got {list(weights)}")
+        total = float(sum(weights))
+        # Idempotent normalization: already-normalized weights (modulo
+        # float residue) pass through untouched so a serialize →
+        # deserialize round trip is byte-identical.
+        if math.isclose(total, 1.0, rel_tol=0.0, abs_tol=1e-9):
+            self.weights = tuple(float(w) for w in weights)
+        else:
+            self.weights = tuple(float(w) / total for w in weights)
+        self.cpu_seconds_per_element = cpu_seconds_per_element
+        self.seed = seed
+
+    def input_consumption(self, index: int) -> float:
+        return self.weights[index]
+
+    def attrs(self) -> dict:
+        return {
+            "weights": list(self.weights),
+            "cpu_seconds_per_element": self.cpu_seconds_per_element,
+            "seed": self.seed,
+        }
+
+    def copy_with(self, **overrides) -> "InterleaveDatasetsNode":
+        return InterleaveDatasetsNode(
+            name=overrides.get("name", self.name),
+            input_nodes=overrides.get("input_nodes", self.inputs),
+            weights=overrides.get("weights", self.weights),
+            cpu_seconds_per_element=overrides.get(
+                "cpu_seconds_per_element", self.cpu_seconds_per_element
+            ),
+            seed=overrides.get("seed", self.seed),
+        )
+
+
 class Pipeline:
     """A rooted dataset tree plus pipeline-level metadata.
 
@@ -528,26 +671,38 @@ class Pipeline:
         while stack:
             node = stack.pop()
             v_parent = ratios[node.name]
-            for child in node.inputs:
-                # parent produces ``elements_ratio`` outputs per child
-                # element, so the child completes 1/ratio elements per
-                # parent completion.
-                ratio = node.elements_ratio()
-                if ratio <= 0:
-                    child_v = math.inf
-                else:
-                    child_v = v_parent / ratio
-                ratios[child.name] = child_v
+            for i, child in enumerate(node.inputs):
+                # The parent consumes ``input_consumption(i)`` elements
+                # from input ``i`` per element it produces — 1/ratio for
+                # chain operators, per-branch for merges.
+                ratios[child.name] = v_parent * node.input_consumption(i)
                 stack.append(child)
         return ratios
 
     def batch_size(self) -> int:
-        """Examples per root element (product of batch sizes)."""
-        size = 1
-        for node in self.iter_nodes():
+        """Examples per root element.
+
+        For a chain this is the product of batch sizes along the spine.
+        At a zip the branch contributions *add* (one output carries one
+        element from every branch); at an interleave they mix by weight.
+        """
+
+        def examples(node: DatasetNode) -> float:
+            if not node.inputs:
+                return 1.0
+            if isinstance(node, ZipNode):
+                return sum(examples(c) for c in node.inputs)
+            if isinstance(node, InterleaveDatasetsNode):
+                return sum(
+                    w * examples(c)
+                    for w, c in zip(node.weights, node.inputs)
+                )
+            per_input = examples(node.inputs[0])
             if isinstance(node, BatchNode):
-                size *= node.batch_size
-        return size
+                return per_input * node.batch_size
+            return per_input
+
+        return max(1, int(round(examples(self.root))))
 
     def below_cache_names(self) -> set:
         """Names of nodes strictly below any :class:`CacheNode` — the
@@ -573,7 +728,9 @@ class Pipeline:
             if id(node) in mapping:
                 return mapping[id(node)]
             new_inputs = [copy(c) for c in node.inputs]
-            if new_inputs:
+            if len(new_inputs) > 1:
+                clone = node.copy_with(input_nodes=new_inputs)
+            elif new_inputs:
                 clone = node.copy_with(input_node=new_inputs[0])
                 clone.inputs = new_inputs
             else:
@@ -583,6 +740,29 @@ class Pipeline:
 
         return Pipeline(copy(self.root), name=self.name)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        chain = " <- ".join(n.name for n in self.topological_order())
-        return f"Pipeline({self.name!r}: {chain})"
+    def _render_chain(self, node: DatasetNode) -> str:
+        """Root-first ``a <- b`` rendering; merge branches bracketed as
+        ``merge <- [branch_a | branch_b]`` so fan-in is visible instead
+        of being flattened into a misleading linear chain."""
+        if not node.inputs:
+            return node.name
+        if len(node.inputs) == 1:
+            return f"{node.name} <- {self._render_chain(node.inputs[0])}"
+        branches = " | ".join(self._render_chain(c) for c in node.inputs)
+        return f"{node.name} <- [{branches}]"
+
+    def describe(self) -> str:
+        """Multi-line indented tree of the graph, root-first."""
+        lines: List[str] = []
+
+        def visit(node: DatasetNode, depth: int) -> None:
+            par = f" x{node.effective_parallelism}" if node.tunable else ""
+            lines.append(f"{'  ' * depth}{node.name} [{node.kind}{par}]")
+            for child in node.inputs:
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.name!r}: {self._render_chain(self.root)})"

@@ -17,6 +17,7 @@ from repro.graph.datasets import (
     CacheNode,
     DatasetNode,
     FilterNode,
+    InterleaveDatasetsNode,
     InterleaveSourceNode,
     MapNode,
     Pipeline,
@@ -25,6 +26,7 @@ from repro.graph.datasets import (
     ShuffleAndRepeatNode,
     ShuffleNode,
     TakeNode,
+    ZipNode,
 )
 from repro.graph.udf import UserFunction
 from repro.io.filesystem import FileCatalog
@@ -104,6 +106,20 @@ def _node_from_dict(spec: dict, resolved: Dict[str, DatasetNode]) -> DatasetNode
             name,
             inputs[0],
             buffer_size=attrs["buffer_size"],
+            cpu_seconds_per_element=attrs.get("cpu_seconds_per_element", 0.0),
+            seed=attrs.get("seed", 0),
+        )
+    if kind == "zip":
+        return ZipNode(
+            name,
+            inputs,
+            cpu_seconds_per_element=attrs.get("cpu_seconds_per_element", 0.0),
+        )
+    if kind == "interleave_datasets":
+        return InterleaveDatasetsNode(
+            name,
+            inputs,
+            weights=attrs.get("weights"),
             cpu_seconds_per_element=attrs.get("cpu_seconds_per_element", 0.0),
             seed=attrs.get("seed", 0),
         )

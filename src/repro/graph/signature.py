@@ -23,6 +23,7 @@ from repro.graph.datasets import (
     CacheNode,
     DatasetNode,
     FilterNode,
+    InterleaveDatasetsNode,
     InterleaveSourceNode,
     MapNode,
     Pipeline,
@@ -30,6 +31,7 @@ from repro.graph.datasets import (
     RepeatNode,
     ShuffleNode,
     TakeNode,
+    ZipNode,
 )
 
 
@@ -91,6 +93,31 @@ def _spec_for(node: DatasetNode, specs: Dict[str, ElementSpec]) -> ElementSpec:
             kind="record",
             avg_bytes=catalog.mean_bytes_per_record,
             cardinality=float(catalog.total_records),
+        )
+
+    if isinstance(node, ZipNode):
+        # One output pairs one element from every branch: bytes add,
+        # and the stream ends with the shortest branch.
+        children = [specs[c.name] for c in node.inputs]
+        return ElementSpec(
+            kind="example",
+            avg_bytes=sum(c.avg_bytes for c in children),
+            cardinality=min(c.cardinality for c in children),
+        )
+    if isinstance(node, InterleaveDatasetsNode):
+        # Weighted mix: expected bytes are the weighted mean, and the
+        # stream ends when the first branch runs dry — after
+        # ``n_i / w_i`` outputs if branch ``i`` is the limiting one.
+        children = [specs[c.name] for c in node.inputs]
+        return ElementSpec(
+            kind="example",
+            avg_bytes=sum(
+                w * c.avg_bytes for w, c in zip(node.weights, children)
+            ),
+            cardinality=min(
+                c.cardinality / w
+                for w, c in zip(node.weights, children)
+            ),
         )
 
     child = specs[node.inputs[0].name]

@@ -28,7 +28,11 @@ def validate_pipeline(pipeline: Pipeline) -> None:
     """Validate ``pipeline``, raising :class:`GraphValidationError`.
 
     Checks:
-    * at least one source, every non-source has exactly one input,
+    * at least one source; every node's input count matches its declared
+      ``input_arity`` (0 for sources, 1 for chain operators, >= 2 for
+      variadic merge nodes),
+    * the graph is a rooted in-tree: no node feeds two consumers
+      (fan-in via zip/interleave is allowed, fan-out is not),
     * no cycles (topological order covers all reachable nodes),
     * unique node names,
     * parallelism >= 1 on tunable nodes when set,
@@ -47,14 +51,23 @@ def validate_pipeline(pipeline: Pipeline) -> None:
         errors.append("pipeline has no source node")
 
     for node in order:
-        if isinstance(node, InterleaveSourceNode):
-            if node.inputs:
-                errors.append(f"source {node.name!r} must have no inputs")
-        elif len(node.inputs) != 1:
+        if node.input_arity is None:
+            if len(node.inputs) < 2:
+                errors.append(
+                    f"merge node {node.name!r} needs at least 2 inputs, "
+                    f"has {len(node.inputs)}"
+                )
+        elif len(node.inputs) != node.input_arity:
+            what = "no inputs" if node.input_arity == 0 else (
+                f"exactly {node.input_arity} input"
+                + ("s" if node.input_arity != 1 else "")
+            )
             errors.append(
-                f"node {node.name!r} must have exactly one input, "
+                f"node {node.name!r} must have {what}, "
                 f"has {len(node.inputs)}"
             )
+        if isinstance(node, InterleaveSourceNode) and node.input_arity != 0:
+            errors.append(f"source {node.name!r} must declare input_arity 0")
         if node.tunable and node.parallelism is not None and node.parallelism == 0:
             errors.append(f"node {node.name!r} has parallelism 0")
         if (
@@ -67,6 +80,7 @@ def validate_pipeline(pipeline: Pipeline) -> None:
             )
 
     _check_cycles(pipeline, errors)
+    _check_single_consumer(order, errors)
     _check_cache_above_repeat(order, errors)
 
     if errors:
@@ -90,6 +104,28 @@ def _check_cycles(pipeline: Pipeline, errors: List[str]) -> None:
         return ok
 
     visit(pipeline.root)
+
+
+def _check_single_consumer(order: List[DatasetNode], errors: List[str]) -> None:
+    """The graph must be a rooted in-tree: merges fan *in*, never out.
+
+    A node feeding two consumers would need its stream duplicated (or
+    split) at execution time, which none of the backends model; zip and
+    interleave merge *distinct* subgraphs.
+    """
+    consumers: dict = {}
+    for node in order:
+        for child in node.inputs:
+            consumers.setdefault(id(child), []).append((child, node))
+    for entries in consumers.values():
+        if len(entries) > 1:
+            child = entries[0][0]
+            parents = sorted(parent.name for _, parent in entries)
+            errors.append(
+                f"node {child.name!r} feeds {len(entries)} consumers "
+                f"({parents}); pipelines must be in-trees — merge "
+                "distinct subgraphs instead of sharing one"
+            )
 
 
 def _check_cache_above_repeat(order: List[DatasetNode], errors: List[str]) -> None:

@@ -49,7 +49,8 @@ class AdaptiveDecision:
 
     pipeline: str                #: pipeline name
     chosen: str                  #: "analytic" or "simulate"
-    reason: str                  #: "confident" / "low-confidence" / "degenerate"
+    #: "confident" / "low-confidence" / "thin-branch-margin" / "degenerate"
+    reason: str
     margin: float                #: equilibrium margin (runner-up headroom)
     binding: str                 #: analytic binding-cap label
     #: did analytic and simulated traces agree on the bottleneck?
@@ -88,7 +89,13 @@ class AdaptiveBackend:
         healthy = (
             math.isfinite(ana.root_throughput) and ana.root_throughput > 0
         )
-        if healthy and diag.margin >= self.margin:
+        # Two ways the closed-form picture can be on a knife edge: the
+        # global binding cap barely clears the runner-up, or — in a
+        # multi-source graph — two branches of a merge deliver at nearly
+        # the same rate, so which branch throttles the merge is within
+        # modelling error. Either way the simulator arbitrates.
+        thin_branch = diag.min_branch_margin < self.margin
+        if healthy and diag.margin >= self.margin and not thin_branch:
             ana.backend = "adaptive[analytic]"
             self._record(AdaptiveDecision(
                 pipeline=pipeline.name, chosen="analytic",
@@ -101,11 +108,17 @@ class AdaptiveBackend:
         # whether the fallback actually changed the bottleneck story.
         from repro.core.trace import PipelineTrace
 
+        if not healthy:
+            reason = "degenerate"
+        elif diag.margin < self.margin:
+            reason = "low-confidence"
+        else:
+            reason = "thin-branch-margin"
         sim = PipelineTrace.from_run(run_pipeline(pipeline, machine, config))
         sim.backend = "adaptive[simulate]"
         self._record(AdaptiveDecision(
             pipeline=pipeline.name, chosen="simulate",
-            reason="low-confidence" if healthy else "degenerate",
+            reason=reason,
             margin=diag.margin, binding=diag.binding,
             agreed=self._bottlenecks_agree(ana, sim),
         ))

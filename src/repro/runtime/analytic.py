@@ -40,7 +40,7 @@ this is what makes µs-cost NLP jobs and whole-fleet optimization cheap
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,11 +51,13 @@ from repro.graph.datasets import (
     CacheNode,
     DatasetNode,
     FilterNode,
+    InterleaveDatasetsNode,
     InterleaveSourceNode,
     MapNode,
     Pipeline,
     ShuffleNode,
     TakeNode,
+    ZipNode,
 )
 from repro.graph.serialize import pipeline_to_dict
 from repro.graph.validate import validate_pipeline
@@ -174,6 +176,22 @@ def _build_node_models(
             serve_core = node.read_cpu_seconds_per_element / speed * penalty
             serve_wall = ovh + serve_core
             b = bytes_at[node.inputs[0].name]
+        elif isinstance(node, ZipNode):
+            # One output pairs one element from every branch: bytes add.
+            compute = node.cpu_seconds_per_element / speed * penalty
+            core = compute
+            ovh = overhead
+            b = sum(bytes_at[c.name] for c in node.inputs)
+        elif isinstance(node, InterleaveDatasetsNode):
+            # Weighted mix: expected output bytes are the weighted mean
+            # of the branch element sizes.
+            compute = node.cpu_seconds_per_element / speed * penalty
+            core = compute
+            ovh = overhead
+            b = sum(
+                w * bytes_at[c.name]
+                for w, c in zip(node.weights, node.inputs)
+            )
         else:  # repeat / prefetch / take: pure forwarding
             compute = 0.0
             core = 0.0
@@ -199,31 +217,57 @@ def _build_node_models(
     return models
 
 
+def _cache_subtrees(models: List[_NodeModel]) -> Dict[str, set]:
+    """Per-cache name set of the nodes strictly below it."""
+    subtrees: Dict[str, set] = {}
+    for m in models:
+        if not isinstance(m.node, CacheNode):
+            continue
+        names: set = set()
+        stack = list(m.node.inputs)
+        while stack:
+            n = stack.pop()
+            names.add(n.name)
+            stack.extend(n.inputs)
+        subtrees[m.node.name] = names
+    return subtrees
+
+
 def _equilibrium_caps(
     models: List[_NodeModel],
     machine: Machine,
     consumer_step: float,
     serving: bool,
+    served_caches: Optional[set] = None,
 ) -> Dict[str, float]:
     """Labelled root-throughput bounds: stage, CPU, disk, consumer caps.
 
     ``serving=True`` models the post-populate regime of a cached
     pipeline: sub-cache nodes are free and the cache pays its serve-side
     cost; ``serving=False`` is the whole-chain (fill or cache-free)
-    regime. Labels are ``stage:<node>``, ``cpu``, ``disk``, and
-    ``consumer`` — the same vocabulary as
-    :func:`repro.analysis.steady_state.predict_throughput`.
+    regime. ``served_caches`` overrides the boolean with a *partial*
+    regime — exactly the named caches serve while the rest still
+    populate — which is how multi-source graphs behave while their
+    branch caches finish filling at different times. Labels are
+    ``stage:<node>``, ``cpu``, ``disk``, and ``consumer`` — the same
+    vocabulary as :func:`repro.analysis.steady_state.predict_throughput`.
     """
+    subtrees = _cache_subtrees(models)
+    if served_caches is None:
+        served_caches = set(subtrees) if serving else set()
+    free: set = set()
+    for cache_name in served_caches:
+        free |= subtrees.get(cache_name, set())
     caps: Dict[str, float] = {}
     cpu_demand = 0.0
     disk_bytes = 0.0
     streams = 0
     for m in models:
-        if serving and m.below_cache:
+        if m.node.name in free:
             continue
         wall = m.wall_seconds
         core = m.core_seconds
-        if serving and isinstance(m.node, CacheNode):
+        if m.node.name in served_caches:
             wall = m.serve_wall_seconds
             core = m.serve_core_seconds
         if wall > 0 and m.visit > 0:
@@ -246,9 +290,12 @@ def _equilibrium_rate(
     machine: Machine,
     consumer_step: float,
     serving: bool,
+    served_caches: Optional[set] = None,
 ) -> float:
     """Root throughput bound: the min over :func:`_equilibrium_caps`."""
-    caps = _equilibrium_caps(models, machine, consumer_step, serving)
+    caps = _equilibrium_caps(
+        models, machine, consumer_step, serving, served_caches
+    )
     rate = min(caps.values()) if caps else math.inf
     return min(rate, _RATE_CLAMP)
 
@@ -271,6 +318,17 @@ class EquilibriumDiagnostics:
     runner_up: str               # label of the second-smallest cap
     margin: float                # runner_up/binding - 1 (inf if only one)
     caps: Dict[str, float]       # every labelled cap
+    #: per merge node, the relative headroom between its slowest and
+    #: second-slowest branch delivery caps (in root units). A thin
+    #: branch margin means a small modelling error flips *which branch*
+    #: throttles the merge — the multi-source analogue of ``margin``;
+    #: chain pipelines have no merges and an empty mapping.
+    branch_margins: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def min_branch_margin(self) -> float:
+        """Smallest branch margin across merges (``inf`` when none)."""
+        return min(self.branch_margins.values(), default=math.inf)
 
 
 @dataclass(frozen=True)
@@ -324,15 +382,61 @@ def _prepare(
     )
 
 
+def _branch_margins(
+    models: List[_NodeModel], caps: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-merge headroom between the slowest two branch delivery caps.
+
+    Stage caps are already in root units, so a branch's delivery
+    capability through the merge is the min stage cap over its subtree;
+    the merge's effective constraint is the slowest branch. When two
+    branches are nearly tied, which one throttles the merge is within
+    modelling error — the adaptive backend treats a thin branch margin
+    like a thin global margin and lets the simulator arbitrate.
+    """
+
+    def subtree_caps(node: DatasetNode) -> List[float]:
+        vals = []
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            cap = caps.get(f"stage:{n.name}")
+            if cap is not None:
+                vals.append(cap)
+            stack.extend(n.inputs)
+        return vals
+
+    margins: Dict[str, float] = {}
+    for m in models:
+        if not m.node.merges:
+            continue
+        branch_caps = sorted(
+            min(subtree_caps(child), default=math.inf)
+            for child in m.node.inputs
+        )
+        slowest = branch_caps[0]
+        if (
+            len(branch_caps) > 1
+            and slowest > 0
+            and math.isfinite(slowest)
+            and math.isfinite(branch_caps[1])
+        ):
+            margins[m.node.name] = branch_caps[1] / slowest - 1.0
+        else:
+            margins[m.node.name] = math.inf
+    return margins
+
+
 def _diagnostics_from(prepared: _Prepared,
                       machine: Machine) -> EquilibriumDiagnostics:
     caps = _equilibrium_caps(
         prepared.models, machine, prepared.consumer_step, prepared.serving
     )
+    branch_margins = _branch_margins(prepared.models, caps)
     if not caps:
         return EquilibriumDiagnostics(
             rate=math.inf, binding="unbounded", runner_up="unbounded",
-            margin=math.inf, caps={},
+            margin=math.inf, caps={}, branch_margins=branch_margins,
         )
     ordered = sorted(caps.items(), key=lambda kv: kv[1])
     binding, rate = ordered[0]
@@ -347,6 +451,7 @@ def _diagnostics_from(prepared: _Prepared,
         runner_up=runner_up,
         margin=margin,
         caps=caps,
+        branch_margins=branch_margins,
     )
 
 
@@ -457,47 +562,94 @@ def _trace_from(
     granularity = prepared.granularity
     consumer_step = prepared.consumer_step
     epochs = prepared.epochs
-    has_cache = prepared.has_cache
-    x_fill = _equilibrium_rate(models, machine, consumer_step, serving=False)
-    if has_cache and epochs > 1:
-        x_serve = _equilibrium_rate(models, machine, consumer_step, serving=True)
-    else:
-        x_serve = x_fill
 
     per_epoch = _epoch_root_elements(pipeline, models)
     total_root = epochs * per_epoch if math.isfinite(per_epoch) else math.inf
     pipe_fill = _fill_latency(models, granularity)
 
-    # Phase boundaries on the virtual clock: nothing before ``pipe_fill``,
-    # the populate epoch (cache) or the whole stream at ``x_fill``, then
-    # serving at ``x_serve``. With a cache the populate pass spans one
-    # full epoch even when ``epochs == 1`` (the whole run *is* the fill
-    # regime — sub-cache nodes still do all the work once).
-    if has_cache:
-        if x_fill > 0 and math.isfinite(per_epoch):
-            fill_end = pipe_fill + per_epoch / x_fill
-        else:
-            fill_end = math.inf  # unbounded populate (no finite epoch)
-    else:
-        fill_end = pipe_fill  # no cache: single regime from fill onward
+    # Per-cache populate completion, in cumulative root elements: cache
+    # ``c`` finishes materializing once the sources below it are
+    # exhausted, and their consumption per root element is their visit
+    # ratio. On a chain this is the familiar single fill→serve boundary;
+    # on a multi-source DAG each branch cache completes at its own root
+    # count and flips only *its* subtree to the serve regime while the
+    # other branches keep populating. With ``epochs <= 1`` nothing ever
+    # serves — the whole run is the fill regime.
+    subtrees = _cache_subtrees(models)
+    visits = {m.node.name: m.visit for m in models}
+    source_records = {
+        s.name: sum(f.num_records for f in s.catalog.files)
+        for s in pipeline.sources()
+    }
+    populate_at: Dict[str, float] = {}
+    for cache_name, below in subtrees.items():
+        if epochs <= 1:
+            populate_at[cache_name] = math.inf
+            continue
+        need = math.inf
+        for src, records in source_records.items():
+            if src in below and visits.get(src, 0.0) > 0:
+                need = min(need, records / visits[src])
+        populate_at[cache_name] = need
+
+    # Piecewise regimes over cumulative root elements: phase ``k`` begins
+    # when the ``k``-th cache (ordered by completion) starts serving.
+    boundaries = sorted(
+        {n for n in populate_at.values() if math.isfinite(n) and n > 0}
+    )
+    phase_starts = [0.0] + boundaries
+    phase_rates = []
+    for start in phase_starts:
+        served = {c for c, n in populate_at.items() if n <= start}
+        phase_rates.append(
+            _equilibrium_rate(models, machine, consumer_step,
+                              serving=False, served_caches=served)
+        )
+    phase_times = [pipe_fill]
+    for k in range(len(boundaries)):
+        span = phase_starts[k + 1] - phase_starts[k]
+        phase_times.append(
+            phase_times[-1] + span / max(phase_rates[k], 1e-12)
+        )
 
     def _root_produced(t: float) -> float:
         """Cumulative root elements by virtual time ``t``."""
-        made = x_fill * max(0.0, min(t, fill_end) - pipe_fill)
-        made += x_serve * max(0.0, t - max(fill_end, pipe_fill))
+        made = 0.0
+        for k, rate in enumerate(phase_rates):
+            lo = phase_times[k]
+            hi = phase_times[k + 1] if k + 1 < len(phase_times) else math.inf
+            made += rate * max(0.0, min(t, hi) - lo)
         return min(made, total_root) if math.isfinite(total_root) else made
+
+    def _time_of_root(n: float) -> float:
+        """Virtual time at which ``n`` cumulative root elements exist."""
+        remaining = n
+        t = phase_times[0]
+        for k, rate in enumerate(phase_rates):
+            lo = phase_starts[k]
+            hi = (
+                phase_starts[k + 1]
+                if k + 1 < len(phase_starts)
+                else math.inf
+            )
+            span = hi - lo
+            if remaining <= span or not math.isfinite(span):
+                return t + remaining / max(rate, 1e-12)
+            remaining -= span
+            t = phase_times[k + 1]
+        return t
 
     # End of the run: the configured duration, or stream exhaustion.
     end = config.duration
     if math.isfinite(total_root):
-        fill_part = min(total_root, x_fill * max(0.0, fill_end - pipe_fill))
-        drain = fill_end + (total_root - fill_part) / max(x_serve, 1e-12)
+        drain = _time_of_root(total_root)
         if math.isfinite(drain):
             end = min(end, max(drain, pipe_fill))
 
     warmup = config.warmup
     root_total_end = _root_produced(end)
-    root_in_window = root_total_end - _root_produced(warmup)
+    root_at_warmup = _root_produced(warmup)
+    root_in_window = root_total_end - root_at_warmup
     if root_in_window > 0:
         measured = max(end - warmup, 1e-12)
     else:
@@ -505,43 +657,53 @@ def _trace_from(
         # simulator and measure the whole run.
         measured = max(end, 1e-12)
         root_in_window = root_total_end
+        root_at_warmup = 0.0
         warmup = 0.0
 
-    # Per-phase overlap with the measurement window, for counters whose
-    # production differs between populate and serve regimes.
-    fill_lo = min(max(warmup, pipe_fill), end)
-    fill_hi = min(max(fill_end, pipe_fill), end)
-    fill_overlap_root = x_fill * max(0.0, fill_hi - fill_lo)
-    serve_overlap_root = max(0.0, root_in_window - fill_overlap_root)
-    # When the run never leaves the populate regime, the subtraction
-    # above can leave a ~1e-13 floating-point residue. Snap it to an
-    # exact zero: a residue times a serve-side CPU cost would otherwise
-    # give the cache node a ~1e-19 core-second charge and a finite
-    # ~1e20 rate-per-core — where the simulator records exactly zero
-    # and an infinite rate — feeding the LP a coefficient scale that
-    # HiGHS rejects outright.
-    if serve_overlap_root <= 1e-9 * max(root_in_window, 1.0):
-        serve_overlap_root = 0.0
+    def _windowed(cut: float) -> tuple:
+        """(window, total) root elements produced before the ``cut``
+        boundary — production under a cache stops once that cache
+        completes its populate pass. Sub-populate residues of ~1e-13
+        root elements are snapped to the boundary: a residue times a
+        serve-side CPU cost would otherwise give the cache node a
+        ~1e-19 core-second charge and a finite ~1e20 rate-per-core —
+        where the simulator records exactly zero and an infinite rate —
+        feeding the LP a coefficient scale that HiGHS rejects outright.
+        """
+        window = min(root_total_end, cut) - min(root_at_warmup, cut)
+        total = min(root_total_end, cut)
+        eps = 1e-9 * max(root_in_window, 1.0)
+        if root_in_window - window <= eps:
+            window = root_in_window
+        if root_total_end - total <= eps:
+            total = root_total_end
+        return window, total
+
+    # The populate boundary governing each node: the earliest-completing
+    # cache above it (first-EOS semantics — a cache's input stream ends
+    # with its shortest source).
+    cut_for: Dict[str, float] = {}
+    for cache_name, below in subtrees.items():
+        n_c = populate_at[cache_name]
+        for name in below:
+            cut_for[name] = min(cut_for.get(name, math.inf), n_c)
 
     stats: Dict[str, NodeStats] = {}
     produced_by_name: Dict[str, float] = {}
     busy_core_seconds = 0.0
     for m in models:
         node = m.node
-        if m.below_cache:
-            produced = m.visit * fill_overlap_root
-            produced_total = m.visit * min(
-                x_fill * max(0.0, min(end, fill_end) - pipe_fill),
-                per_epoch if math.isfinite(per_epoch) else math.inf,
-            )
-        else:
-            produced = m.visit * root_in_window
-            produced_total = m.visit * root_total_end
+        cut = cut_for.get(node.name, math.inf)
+        fill_window, fill_total = _windowed(cut)
+        produced = m.visit * fill_window
+        produced_total = m.visit * fill_total
         core = m.core_seconds * produced
         if isinstance(node, CacheNode):
+            own_fill, _ = _windowed(populate_at[node.name])
+            serve_window = max(0.0, fill_window - own_fill)
             core = (
-                m.core_seconds * m.visit * fill_overlap_root
-                + m.serve_core_seconds * m.visit * serve_overlap_root
+                m.core_seconds * m.visit * own_fill
+                + m.serve_core_seconds * m.visit * serve_window
             )
         st = NodeStats(
             name=node.name,
@@ -559,7 +721,11 @@ def _trace_from(
         st.io_seconds = produced * m.io_seconds
         st.bytes_read = produced * m.bytes_read
         if node.inputs:
-            st.elements_consumed = produced_by_name.get(node.inputs[0].name, 0.0)
+            # Merge nodes consume from every branch; chains reduce to
+            # the single input's production.
+            st.elements_consumed = sum(
+                produced_by_name.get(c.name, 0.0) for c in node.inputs
+            )
         else:
             st.elements_consumed = produced
         if isinstance(node, InterleaveSourceNode):

@@ -308,7 +308,10 @@ def run_pipeline(
 
     order = pipeline.topological_order()
     has_cache = any(isinstance(n, CacheNode) for n in order)
-    source_epochs = 1.0 if has_cache else epochs
+    # Only sources *below* a cache stop after the populate pass; in a
+    # multi-branch graph a cache in one branch must not throttle the
+    # sources of the others.
+    below_cache = pipeline.below_cache_names() if has_cache else set()
     cache_serve_epochs = (epochs - 1.0) if has_cache else 0.0
 
     board = StatsBoard()
@@ -334,15 +337,16 @@ def run_pipeline(
         queues[node.name] = out_q
 
         if isinstance(node, InterleaveSourceNode):
+            source_epochs = 1.0 if node.name in below_cache else epochs
             cursor = FileCursor(node.catalog.files, epochs=source_epochs)
             workers = build_stage(
                 node, None, out_q, ctx, stats,
                 cursor=cursor, granularity=granularity,
             )
         else:
-            in_q = queues[node.inputs[0].name]
+            in_qs = [queues[c.name] for c in node.inputs]
             workers = build_stage(
-                node, in_q, out_q, ctx, stats,
+                node, in_qs, out_q, ctx, stats,
                 serve_epochs=cache_serve_epochs,
             )
         for i, gen in enumerate(workers):

@@ -27,12 +27,14 @@ from repro.graph.datasets import (
     CacheNode,
     DatasetNode,
     FilterNode,
+    InterleaveDatasetsNode,
     InterleaveSourceNode,
     MapNode,
     PrefetchNode,
     RepeatNode,
     ShuffleNode,
     TakeNode,
+    ZipNode,
 )
 from repro.runtime.engine import (
     EOS,
@@ -431,9 +433,97 @@ def cache_worker(
         state.worker_done()
 
 
+def zip_worker(
+    node: ZipNode,
+    in_qs: List[SimQueue],
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+) -> Generator:
+    """Lockstep merge: buffer each input, emit min-across-branches.
+
+    Chunks from different branches rarely align, so per-input carry
+    buffers track leftover counts/bytes; each emitted chunk pairs
+    ``emit`` elements from *every* branch (output bytes = sum of the
+    branches' proportional shares). The stream ends the moment any
+    input is exhausted — leftover elements on longer branches are
+    dropped, exactly tf.data's zip truncation.
+    """
+    k = len(in_qs)
+    buf_count = [0.0] * k
+    buf_bytes = [0.0] * k
+    try:
+        while True:
+            # Refill every drained branch; first EOS ends the stream.
+            for i in range(k):
+                while buf_count[i] <= 0:
+                    item = yield Get(in_qs[i])
+                    if item is EOS:
+                        return
+                    stats.on_consume(item.count)
+                    buf_count[i] += item.count
+                    buf_bytes[i] += item.nbytes
+            emit = min(buf_count)
+            out_bytes = 0.0
+            for i in range(k):
+                share = emit / buf_count[i]
+                out_bytes += buf_bytes[i] * share
+                buf_bytes[i] -= buf_bytes[i] * share
+                buf_count[i] -= emit
+            req = _overhead(ctx, stats, emit)
+            if req is not None:
+                yield req
+            if node.cpu_seconds_per_element > 0:
+                svc = ctx.cpu_cost(node.cpu_seconds_per_element * emit)
+                yield Compute(svc)
+                stats.on_cpu(svc * ctx.penalty)
+            out = Item(count=emit, nbytes=out_bytes)
+            yield Put(out_q, out)
+            stats.on_produce(out.count, out.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
+def interleave_worker(
+    node: InterleaveDatasetsNode,
+    in_qs: List[SimQueue],
+    out_q: SimQueue,
+    state: StageState,
+    ctx: ExecContext,
+    stats: NodeStats,
+) -> Generator:
+    """Weighted round-robin mix: forward whole chunks, branch picked by
+    smooth weighted scheduling (least served-per-weight first), so the
+    emitted mix tracks the declared weights at chunk granularity. The
+    stream ends when the first branch is exhausted, keeping the mix
+    exact for the whole run."""
+    k = len(in_qs)
+    served = [0.0] * k
+    try:
+        while True:
+            best = min(range(k), key=lambda i: served[i] / node.weights[i])
+            item = yield Get(in_qs[best])
+            if item is EOS:
+                return
+            stats.on_consume(item.count)
+            served[best] += item.count
+            req = _overhead(ctx, stats, item.count)
+            if req is not None:
+                yield req
+            if node.cpu_seconds_per_element > 0:
+                svc = ctx.cpu_cost(node.cpu_seconds_per_element * item.count)
+                yield Compute(svc)
+                stats.on_cpu(svc * ctx.penalty)
+            yield Put(out_q, item)
+            stats.on_produce(item.count, item.nbytes, ctx.sim.now)
+    finally:
+        state.worker_done()
+
+
 def build_stage(
     node: DatasetNode,
-    in_q: Optional[SimQueue],
+    in_qs: Optional[List[SimQueue]],
     out_q: SimQueue,
     ctx: ExecContext,
     stats: NodeStats,
@@ -442,7 +532,12 @@ def build_stage(
     granularity: int = 1,
     serve_epochs: float = 0.0,
 ) -> List[Generator]:
-    """Instantiate the worker generators for ``node``."""
+    """Instantiate the worker generators for ``node``.
+
+    ``in_qs`` carries one input queue per graph edge, in ``node.inputs``
+    order (``None`` for sources); single-input workers read from
+    ``in_qs[0]``.
+    """
     if isinstance(node, InterleaveSourceNode):
         workers = node.effective_parallelism
         state = StageState(out_q, workers)
@@ -451,7 +546,14 @@ def build_stage(
             source_worker(node, cursor, out_q, state, ctx, stats, granularity)
             for _ in range(workers)
         ]
-    assert in_q is not None
+    assert in_qs is not None
+    if isinstance(node, ZipNode):
+        state = StageState(out_q, 1)
+        return [zip_worker(node, list(in_qs), out_q, state, ctx, stats)]
+    if isinstance(node, InterleaveDatasetsNode):
+        state = StageState(out_q, 1)
+        return [interleave_worker(node, list(in_qs), out_q, state, ctx, stats)]
+    in_q = in_qs[0]
     if isinstance(node, MapNode):
         workers = node.effective_parallelism
         state = StageState(out_q, workers)
@@ -494,6 +596,15 @@ def expected_elements_per_chunk(pipeline, node_name: str, granularity: int) -> f
     for node in order:
         if isinstance(node, InterleaveSourceNode):
             ratios[node.name] = float(granularity)
+        elif isinstance(node, ZipNode):
+            # Emitted chunks are min-across-branches of the buffers.
+            ratios[node.name] = min(ratios[c.name] for c in node.inputs)
+        elif isinstance(node, InterleaveDatasetsNode):
+            # Whole chunks are forwarded; expect the weighted mean size.
+            ratios[node.name] = sum(
+                w * ratios[c.name]
+                for w, c in zip(node.weights, node.inputs)
+            )
         else:
             child = ratios[node.inputs[0].name]
             ratios[node.name] = child * node.elements_ratio()

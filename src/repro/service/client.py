@@ -18,20 +18,28 @@ fleet out to N daemon *processes* — on one host or many — over HTTP
 instead of N in-process optimizers, turning signature-affine sharding
 into a real multi-host protocol.
 
-Everything here is stdlib ``urllib``; the wire format is the daemon's
-JSON (serialized pipelines, ``Machine.to_dict`` machines,
-``OptimizeSpec.to_dict`` specs). ``sleep``/``clock`` are injectable so
+Everything here is stdlib ``http.client``; the wire format is the
+daemon's JSON (serialized pipelines, ``Machine.to_dict`` machines,
+``OptimizeSpec.to_dict`` specs). Each client keeps **one persistent
+HTTP/1.1 connection** to its daemon — submit/poll/report loops reuse
+the same socket instead of paying a TCP handshake per request (see
+``BENCH_service_http_overhead``). A request that fails on a *reused*
+connection is retried once on a fresh one (stale keep-alive sockets are
+normal); a failure on a fresh connection means the daemon is
+unreachable and raises. ``sleep``/``clock`` are injectable so
 retry/backoff behaviour is testable without wall-clock waits.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import math
+import socket
+import threading
 import time
-import urllib.error
-import urllib.request
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+from urllib.parse import urlsplit
 
 from repro.core.spec import OptimizeSpec
 from repro.graph.serialize import (
@@ -232,36 +240,97 @@ class OptimizationClient:
         self.max_retry_after = max_retry_after
         self._sleep = sleep
         self._clock = clock
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(
+                f"unsupported scheme {split.scheme!r}; the daemon "
+                "speaks plain HTTP"
+            )
+        if not split.hostname:
+            raise ValueError(f"base_url {base_url!r} has no host")
+        self._host = split.hostname
+        self._port = split.port if split.port is not None else 80
+        self._path_prefix = split.path.rstrip("/")
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._conn_lock = threading.Lock()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.base_url!r})"
 
     # -- transport -----------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            conn.connect()
+            # Small request/response exchanges on a long-lived socket
+            # hit the Nagle/delayed-ACK interaction (~40ms per round
+            # trip once TCP quick-ack expires); send immediately.
+            conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conn = conn
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        """Close the persistent connection (reopened lazily on use)."""
+        with self._conn_lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "OptimizationClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _request(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> Tuple[int, dict, Dict[str, str]]:
-        """One JSON request; HTTP error statuses return, transport
-        failures raise :class:`ClientError`."""
-        req = urllib.request.Request(
-            self.base_url + path,
-            data=(json.dumps(body).encode("utf-8")
-                  if body is not None else None),
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, json.load(resp), dict(resp.headers)
-        except urllib.error.HTTPError as exc:
-            try:
-                payload = json.load(exc)
-            except ValueError:
-                payload = {"error": f"non-JSON {exc.code} response"}
-            return exc.code, payload, dict(exc.headers)
-        except (urllib.error.URLError, OSError) as exc:
-            raise ClientError(
-                f"daemon at {self.base_url} unreachable: {exc}"
-            ) from exc
+        """One JSON request over the persistent connection.
+
+        HTTP error statuses return like successes; transport failures
+        raise :class:`ClientError`. A failure on a reused socket is
+        retried once on a fresh one — the server may have closed an
+        idle keep-alive connection between requests — but a fresh
+        connection that fails means the daemon is down, and raises
+        without a blind re-send (a POST may not be idempotent).
+        """
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        headers = {"Content-Type": "application/json"}
+        with self._conn_lock:
+            while True:
+                fresh = self._conn is None
+                try:
+                    conn = self._connection()
+                    conn.request(
+                        method, self._path_prefix + path,
+                        body=data, headers=headers,
+                    )
+                    resp = conn.getresponse()
+                    raw = resp.read()  # drain so the socket is reusable
+                    status = resp.status
+                    resp_headers = dict(resp.getheaders())
+                except (http.client.HTTPException, OSError) as exc:
+                    self._drop_connection()
+                    if fresh:
+                        raise ClientError(
+                            f"daemon at {self.base_url} unreachable: {exc}"
+                        ) from exc
+                    continue
+                try:
+                    payload = json.loads(raw) if raw else {}
+                except ValueError:
+                    payload = {"error": f"non-JSON {status} response"}
+                return status, payload, resp_headers
 
     @staticmethod
     def _error(status: int, payload: dict, what: str) -> ClientError:
@@ -347,6 +416,31 @@ class OptimizationClient:
             raise self._error(status, payload, "stats")
         return payload
 
+    def health(self) -> dict:
+        """``GET /healthz`` — liveness probe."""
+        status, payload, _ = self._request("GET", "/healthz")
+        if status != 200:
+            raise self._error(status, payload, "health check")
+        return payload
+
+    def check_ready(self) -> dict:
+        """``GET /ready`` — raise unless the daemon will accept work.
+
+        Returns the readiness payload on 200; a ``503`` (or any other
+        answer) raises :class:`ClientError` carrying the daemon's
+        stated reason, so callers fail fast with *why* instead of
+        submitting into a daemon that can't run the batch.
+        """
+        status, payload, _ = self._request("GET", "/ready")
+        if status == 200 and payload.get("ready"):
+            return payload
+        reason = payload.get("reason") or payload.get("error") or payload
+        raise ClientError(
+            f"daemon at {self.base_url} is not ready to accept work "
+            f"(HTTP {status}): {reason}",
+            status=status,
+        )
+
     def compact(self, max_age_seconds: float) -> dict:
         """``POST /compact`` — evict stored results older than the
         horizon (provenance age GC); returns ``{"removed",
@@ -419,6 +513,10 @@ class RemoteShard:
     def optimize_fleet(
         self, jobs: Union[Mapping[str, object], Sequence]
     ) -> FleetOptimizationReport:
+        # Gate on readiness first: a daemon whose dispatcher is down
+        # would otherwise accept nothing but still cost this shard its
+        # submit retries, and the resulting error would not say *why*.
+        self.client.check_ready()
         return self.client.optimize_fleet(jobs, timeout=self.timeout)
 
     def stats(self) -> dict:

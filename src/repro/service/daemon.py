@@ -24,6 +24,11 @@ endpoints:
   included: all results are valid programs).
 * ``GET /stats`` — cumulative cache hit rate, store size, queue depth,
   and per-lane in-flight counts.
+* ``GET /healthz`` — pure liveness (the process answers HTTP).
+* ``GET /ready`` — readiness: ``200 {"ready": true}`` when the
+  dispatcher pool is accepting work and the result store is reachable,
+  else ``503`` with a reason. Load balancers and
+  :class:`~repro.service.client.RemoteShard` gate dispatch on this.
 * ``POST /compact`` — garbage-collect the result store by provenance
   age. Body: ``{"max_age_seconds": <number>}``; every stored entry
   whose ``provenance.created_at`` is at least that old is evicted, so a
@@ -517,6 +522,39 @@ class OptimizationDaemon:
             ],
         }
 
+    def health(self) -> dict:
+        """``GET /healthz`` — liveness only: answering at all is the
+        signal, so the payload is a bare ok."""
+        return {"status": "ok"}
+
+    def readiness(self) -> Tuple[bool, dict]:
+        """``GET /ready`` — whether the daemon can take work *right now*.
+
+        Liveness (:meth:`health`) only says the HTTP thread is alive;
+        readiness also requires the dispatcher pool to be running and
+        the result store to answer — a daemon with a broken
+        :class:`~repro.service.store.DiskStore` directory would accept
+        batches it can never finish.
+        """
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            return False, {
+                "ready": False,
+                "reason": "dispatcher pool is not running",
+            }
+        try:
+            entries = len(self.optimizer.store)
+        except Exception as exc:  # noqa: BLE001 - any store fault = not ready
+            return False, {
+                "ready": False,
+                "reason": (
+                    f"result store unreachable: "
+                    f"{type(exc).__name__}: {exc}"
+                ),
+            }
+        return True, {"ready": True, "store_entries": entries}
+
     def stats(self) -> dict:
         with self._lock:
             batches = list(self._batches.values())
@@ -540,6 +578,10 @@ class _DaemonHandler(BaseHTTPRequestHandler):
 
     daemon: OptimizationDaemon  # injected per-daemon subclass attribute
     protocol_version = "HTTP/1.1"
+    # Keep-alive clients poll in small request/response exchanges;
+    # Nagle + delayed ACK turns each one into a ~40ms stall once the
+    # connection outlives TCP quick-ack. Write immediately instead.
+    disable_nagle_algorithm = True
 
     # -- plumbing -------------------------------------------------------
     def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
@@ -601,7 +643,12 @@ class _DaemonHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server convention
         try:
             parts = [p for p in self._route_path().split("/") if p]
-            if parts == ["stats"]:
+            if parts == ["healthz"]:
+                self._send_json(200, self.daemon.health())
+            elif parts == ["ready"]:
+                ready, payload = self.daemon.readiness()
+                self._send_json(200 if ready else 503, payload)
+            elif parts == ["stats"]:
                 self._send_json(200, self.daemon.stats())
             elif len(parts) == 2 and parts[0] == "jobs":
                 self._send_json(200, self.daemon.job_status(parts[1]))

@@ -26,7 +26,11 @@ import pytest
 from repro.core.lp import solve_allocation
 from repro.core.plumber import Plumber
 from repro.core.rates import build_model
-from repro.graph.builder import from_tfrecords
+from repro.graph.builder import (
+    from_tfrecords,
+    interleave_datasets,
+    zip_datasets,
+)
 from repro.graph.serialize import pipeline_to_dict
 from repro.graph.udf import CostModel, UserFunction
 from repro.host.machine import setup_a
@@ -34,6 +38,8 @@ from repro.io.filesystem import FileCatalog
 
 #: number of generated graphs (seeds 0..N-1)
 NUM_CASES = 30
+#: number of generated multi-source graphs (seeds 0..N-1)
+NUM_MULTISOURCE_CASES = 12
 #: relative tolerance for analytic/adaptive vs simulated throughput —
 #: matches the seed-workload parity bar in test_trace_backends.py
 THROUGHPUT_TOLERANCE = 0.15
@@ -90,10 +96,65 @@ def random_pipeline(seed: int):
     return ds.build(f"diff_{seed}", validate=False)
 
 
-def _dump_failure(seed, pipeline, reason: str) -> str:
+def random_multisource_pipeline(seed: int):
+    """One seeded random multi-source DAG (zip or weighted interleave).
+
+    2–3 branches of varying depth, per-op cost, parallelism, and
+    branch-local cache placement feed a merge node; the trunk varies
+    batch size and prefetch presence. Seeds are offset from the linear
+    generator's so the two populations never collide.
+    """
+    rng = np.random.default_rng(1000 + seed)
+    n_branches = int(rng.integers(2, 4))
+    branches = []
+    for b in range(n_branches):
+        catalog = FileCatalog(
+            name=f"mdiff{seed}_{b}",
+            num_files=int(rng.integers(8, 25)),
+            records_per_file=float(rng.integers(100, 400)),
+            bytes_per_record=float(rng.uniform(2e3, 30e3)),
+            size_cv=float(rng.uniform(0.0, 0.3)),
+            seed=int(rng.integers(0, 2**31)),
+        )
+        depth = int(rng.integers(1, 4))
+        cache_after = int(rng.integers(0, depth)) if rng.random() < 0.3 else -1
+        ds = from_tfrecords(
+            catalog,
+            parallelism=int(rng.integers(1, 4)),
+            name=f"src{b}",
+            read_cpu_seconds_per_record=1e-5,
+        )
+        for i in range(depth):
+            cost = float(rng.uniform(0.5e-3, 4e-3))
+            udf = UserFunction(
+                f"b{b}op{i}",
+                cost=CostModel(cpu_seconds=cost),
+                size_ratio=(
+                    float(rng.uniform(0.8, 2.0)) if i == 0 else 1.0
+                ),
+            )
+            ds = ds.map(udf, parallelism=int(rng.integers(1, 6)),
+                        name=f"b{b}map{i}")
+            if i == cache_after:
+                ds = ds.cache(name=f"b{b}cache")
+        branches.append(ds)
+    if rng.random() < 0.5:
+        ds = zip_datasets(branches, name="mergenode")
+    else:
+        weights = [float(rng.uniform(0.2, 1.0)) for _ in branches]
+        ds = interleave_datasets(branches, weights=weights,
+                                 name="mergenode")
+    ds = ds.batch(int(rng.choice((4, 8, 16))), name="batchnode")
+    if rng.random() < 0.6:
+        ds = ds.prefetch(int(rng.integers(2, 9)), name="prefetchnode")
+    ds = ds.repeat(None, name="repeatnode")
+    return ds.build(f"mdiff_{seed}", validate=False)
+
+
+def _dump_failure(seed, pipeline, reason: str, prefix: str = "case") -> str:
     """Persist the offending graph; return the assertion message."""
     os.makedirs(DUMP_DIR, exist_ok=True)
-    path = os.path.join(DUMP_DIR, f"case_{seed:02d}.json")
+    path = os.path.join(DUMP_DIR, f"{prefix}_{seed:02d}.json")
     program = pipeline_to_dict(pipeline)
     with open(path, "w", encoding="utf-8") as f:
         json.dump({"seed": seed, "reason": reason, "program": program},
@@ -179,6 +240,79 @@ class TestBackendDifferential:
         assert solved["adaptive"][0].backend.startswith("adaptive[")
 
 
+class TestMultiSourceDifferential:
+    """The same three-backend parity bar, over multi-source DAGs."""
+
+    @pytest.fixture(scope="class", params=range(NUM_MULTISOURCE_CASES))
+    def case(self, request, machine):
+        pipeline = random_multisource_pipeline(request.param)
+        return request.param, pipeline, _solved_traces(pipeline, machine)
+
+    def test_bottleneck_identity_agrees(self, case):
+        seed, pipeline, solved = case
+        reference = solved["simulate"][1].bottleneck
+        for name in ("analytic", "adaptive"):
+            got = solved[name][1].bottleneck
+            assert got == reference, _dump_failure(
+                seed, pipeline,
+                f"bottleneck mismatch: simulate={reference!r} "
+                f"{name}={got!r}",
+                prefix="multisource",
+            )
+
+    def test_root_throughput_within_tolerance(self, case):
+        seed, pipeline, solved = case
+        reference = solved["simulate"][0].root_throughput
+        for name in ("analytic", "adaptive"):
+            got = solved[name][0].root_throughput
+            rel = abs(got - reference) / reference
+            assert rel <= THROUGHPUT_TOLERANCE, _dump_failure(
+                seed, pipeline,
+                f"root throughput diverges: simulate={reference:.3f} "
+                f"{name}={got:.3f} rel={rel:.1%} "
+                f"(tolerance {THROUGHPUT_TOLERANCE:.0%})",
+                prefix="multisource",
+            )
+
+    def test_lp_prediction_within_tolerance(self, case):
+        seed, pipeline, solved = case
+        reference = solved["simulate"][1].predicted_throughput
+        observed = solved["simulate"][0].root_throughput
+        for name in ("analytic", "adaptive"):
+            got = solved[name][1].predicted_throughput
+            if not math.isfinite(reference):
+                assert got == reference, _dump_failure(
+                    seed, pipeline,
+                    f"LP prediction diverges: simulate={reference} "
+                    f"{name}={got}",
+                    prefix="multisource",
+                )
+                continue
+            if min(got, reference) > 1e3 * observed:
+                # Both predictions are orders of magnitude beyond
+                # anything observable: a branch cache that flips to the
+                # serve regime mid-window leaves the LP a noise-scale
+                # cache coefficient (a handful of served elements times
+                # a µs of copy cost), so the prediction's magnitude
+                # carries no decision value — bottleneck identity,
+                # asserted separately, is the meaningful comparison.
+                continue
+            rel = abs(got - reference) / reference
+            assert rel <= THROUGHPUT_TOLERANCE, _dump_failure(
+                seed, pipeline,
+                f"LP prediction diverges: simulate={reference:.3f} "
+                f"{name}={got:.3f} rel={rel:.1%} "
+                f"(tolerance {THROUGHPUT_TOLERANCE:.0%})",
+                prefix="multisource",
+            )
+
+    def test_traces_are_labelled_by_producer(self, case):
+        _seed, _pipeline, solved = case
+        assert solved["simulate"][0].backend == "simulate"
+        assert solved["analytic"][0].backend == "analytic"
+        assert solved["adaptive"][0].backend.startswith("adaptive[")
+
+
 class TestGeneratorCoversTheSpace:
     """The harness is only as strong as its generator: the 30 graphs
     must actually vary cache/prefetch placement and depth."""
@@ -205,5 +339,39 @@ class TestGeneratorCoversTheSpace:
 
         a = [structural_signature(random_pipeline(s)) for s in range(5)]
         b = [structural_signature(random_pipeline(s)) for s in range(5)]
+        assert a == b
+        assert len(set(a)) == 5
+
+    def test_multisource_generator_covers_both_merges(self):
+        pipelines = [
+            random_multisource_pipeline(s)
+            for s in range(NUM_MULTISOURCE_CASES)
+        ]
+        kinds = [
+            next(n.kind for n in p.nodes.values()
+                 if n.kind in ("zip", "interleave_datasets"))
+            for p in pipelines
+        ]
+        assert kinds.count("zip") >= 3
+        assert kinds.count("interleave_datasets") >= 3
+        with_cache = sum(
+            1 for p in pipelines
+            if any("cache" in type(n).__name__.lower()
+                   for n in p.nodes.values())
+        )
+        assert with_cache >= 2
+        branch_counts = {
+            sum(1 for n in p.nodes.values() if not n.inputs)
+            for p in pipelines
+        }
+        assert branch_counts >= {2, 3}
+
+    def test_multisource_generator_is_deterministic(self):
+        from repro.graph.signature import structural_signature
+
+        a = [structural_signature(random_multisource_pipeline(s))
+             for s in range(5)]
+        b = [structural_signature(random_multisource_pipeline(s))
+             for s in range(5)]
         assert a == b
         assert len(set(a)) == 5

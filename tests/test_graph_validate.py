@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.graph.builder import from_tfrecords
-from repro.graph.datasets import CacheNode, MapNode, Pipeline
+from repro.graph.builder import from_tfrecords, zip_datasets
+from repro.graph.datasets import CacheNode, MapNode, Pipeline, ZipNode
 from repro.graph.validate import (
     GraphValidationError,
     find_batch_node,
@@ -77,6 +77,23 @@ class TestValidation:
         m1.inputs = [m2]  # introduce a cycle
         with pytest.raises(GraphValidationError, match="cycle"):
             validate_pipeline(Pipeline(m2))
+
+    def test_fan_out_rejected(self, small_catalog):
+        """Pipelines are rooted in-trees: one node feeding two consumers
+        (here, both zip branches) must fail validation."""
+        src = from_tfrecords(small_catalog, name="src").node
+        m1 = MapNode("m1", src, make_udf("a"))
+        m2 = MapNode("m2", src, make_udf("b"))  # src now fans out
+        z = ZipNode("z", [m1, m2])
+        with pytest.raises(GraphValidationError, match="in-trees"):
+            validate_pipeline(Pipeline(z))
+
+    def test_distinct_merge_branches_pass(self, small_catalog):
+        a = from_tfrecords(small_catalog, name="src_a").map(
+            make_udf("fa"), name="map_a")
+        b = from_tfrecords(small_catalog, name="src_b").map(
+            make_udf("fb"), name="map_b")
+        validate_pipeline(zip_datasets([a, b], name="z").build("p"))
 
     def test_find_batch_node(self, simple_pipeline, small_catalog):
         assert find_batch_node(simple_pipeline).name == "batch"

@@ -10,9 +10,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.disk_planner import fit_piecewise
-from repro.graph.builder import from_tfrecords
+from repro.graph.builder import (
+    from_tfrecords,
+    interleave_datasets,
+    zip_datasets,
+)
 from repro.graph.serialize import pipeline_from_dict, pipeline_to_dict
-from repro.graph.signature import infer_signatures
+from repro.graph.signature import infer_signatures, structural_signature
 from repro.graph.udf import CostModel, UserFunction
 from repro.host.disk import DiskSpec
 from repro.io.filesystem import FileCatalog
@@ -57,6 +61,52 @@ def chain_pipelines(draw):
     if draw(st.booleans()):
         ds = ds.repeat(None, name="repeat")
     return ds.build("prop", validate=True)
+
+
+@st.composite
+def dag_pipelines(draw):
+    """Random multi-source DAGs: 2-3 chains merged by zip/interleave."""
+    n_branches = draw(st.integers(2, 3))
+    branches = []
+    for b in range(n_branches):
+        catalog = FileCatalog(
+            f"cat{b}",
+            num_files=draw(st.integers(1, 32)),
+            records_per_file=draw(st.floats(1.0, 300.0)),
+            bytes_per_record=draw(st.floats(1.0, 1e5)),
+            seed=draw(st.integers(0, 100)),
+        )
+        ds = from_tfrecords(
+            catalog, parallelism=draw(st.integers(1, 4)), name=f"b{b}src"
+        )
+        for i in range(draw(st.integers(0, 2))):
+            udf = UserFunction(
+                f"b{b}op{i}",
+                cost=CostModel(cpu_seconds=draw(st.floats(0.0, 1e-3))),
+                size_ratio=draw(st.floats(0.1, 4.0)),
+            )
+            ds = ds.map(
+                udf, parallelism=draw(st.integers(1, 4)), name=f"b{b}map{i}"
+            )
+        branches.append(ds)
+    if draw(st.booleans()):
+        ds = zip_datasets(
+            branches,
+            cpu_seconds_per_element=draw(st.floats(0.0, 1e-4)),
+            name="merge",
+        )
+    else:
+        ds = interleave_datasets(
+            branches,
+            weights=[draw(st.floats(0.05, 1.0)) for _ in branches],
+            seed=draw(st.integers(0, 10)),
+            name="merge",
+        )
+    if draw(st.booleans()):
+        ds = ds.batch(draw(st.integers(1, 16)), name="batch")
+    if draw(st.booleans()):
+        ds = ds.repeat(None, name="repeat")
+    return ds.build("dagprop", validate=True)
 
 
 class TestCatalogProperties:
@@ -123,6 +173,85 @@ class TestPipelineProperties:
             n.name for n in pipeline.topological_order()
         ]
         assert clone.root is not pipeline.root
+
+
+class TestDagProperties:
+    @given(dag_pipelines())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_serialization_round_trips(self, pipeline):
+        """Multi-source programs survive the wire byte-for-byte —
+        including interleave weights, which must normalize idempotently."""
+        data = pipeline_to_dict(pipeline)
+        restored = pipeline_from_dict(data)
+        assert pipeline_to_dict(restored) == data
+
+    @given(dag_pipelines())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_clone_preserves_structure_and_signature(self, pipeline):
+        clone = pipeline.clone()
+        assert [n.name for n in clone.topological_order()] == [
+            n.name for n in pipeline.topological_order()
+        ]
+        assert structural_signature(clone) == structural_signature(pipeline)
+
+    @given(dag_pipelines())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_merge_visit_ratios_follow_consumption(self, pipeline):
+        """V_child = V_merge * consumption(i): zip consumes one element
+        per input per output; interleave consumes by weight."""
+        ratios = pipeline.visit_ratios()
+        for node in pipeline.iter_nodes():
+            if node.input_arity is not None:
+                continue
+            for i, child in enumerate(node.inputs):
+                assert ratios[child.name] == pytest.approx(
+                    ratios[node.name] * node.input_consumption(i)
+                )
+
+    @given(st.integers(1, 32), st.integers(1, 32), st.floats(1e-6, 1e-3))
+    @settings(max_examples=25, deadline=None)
+    def test_branch_topology_is_signature_relevant(self, files_a, files_b,
+                                                   cost):
+        """Two DAGs with the *same node multiset* but the map wired into
+        a different branch must not collide — the result cache would
+        otherwise serve one topology's plan for the other."""
+        def variant(map_on_a):
+            a = from_tfrecords(
+                FileCatalog("cat_a", files_a, 10.0, 100.0), name="src_a")
+            b = from_tfrecords(
+                FileCatalog("cat_b", files_b, 10.0, 100.0), name="src_b")
+            udf = UserFunction("op", cost=CostModel(cpu_seconds=cost))
+            if map_on_a:
+                a = a.map(udf, name="m")
+            else:
+                b = b.map(udf, name="m")
+            return zip_datasets([a, b], name="z").build("v", validate=True)
+
+        assert structural_signature(variant(True)) != \
+            structural_signature(variant(False))
+
+    @given(st.integers(1, 32), st.integers(1, 32), st.floats(0.0, 1e-3))
+    @settings(max_examples=25, deadline=None)
+    def test_zip_input_order_is_signature_relevant(self, files_a, files_b,
+                                                   cost):
+        """zip is positional: zip(a, b) and zip(b, a) are different
+        programs and must hash differently."""
+        def variant(order):
+            a = from_tfrecords(
+                FileCatalog("cat_a", files_a, 10.0, 100.0), name="src_a")
+            b = from_tfrecords(
+                FileCatalog("cat_b", files_b, 10.0, 100.0),
+                name="src_b").map(
+                    UserFunction("op", cost=CostModel(cpu_seconds=cost)),
+                    name="m")
+            pair = [a, b] if order else [b, a]
+            return zip_datasets(pair, name="z").build("v", validate=True)
+
+        assert structural_signature(variant(True)) != \
+            structural_signature(variant(False))
 
 
 class TestDiskCurveProperties:

@@ -224,6 +224,68 @@ class TestClientRoundTrip:
 
 
 # ----------------------------------------------------------------------
+# Keep-alive transport: one persistent connection per client
+# ----------------------------------------------------------------------
+class TestKeepAliveTransport:
+    def test_requests_reuse_one_connection(self, daemon):
+        client = OptimizationClient(daemon.url)
+        client.stats()
+        conn, sock = client._conn, client._conn.sock
+        client.stats()
+        client.health()
+        assert client._conn is conn
+        assert client._conn.sock is sock  # same socket, no re-handshake
+
+    def test_stale_connection_retried_on_a_fresh_one(self, daemon):
+        """A keep-alive socket the server (or an idle timeout) closed
+        must be replaced transparently, not surfaced as an error."""
+        client = OptimizationClient(daemon.url)
+        client.stats()
+        client._conn.sock.close()  # simulate the peer dropping the socket
+        payload = client.stats()   # retried on a fresh connection
+        assert "cache" in payload
+
+    def test_close_is_reopenable_and_context_managed(self, daemon):
+        with OptimizationClient(daemon.url) as client:
+            client.stats()
+            assert client._conn is not None
+        assert client._conn is None  # context exit closed the socket
+        client.stats()               # lazily reopened on next use
+        assert client._conn is not None
+        client.close()
+
+    def test_rejects_non_http_schemes(self):
+        with pytest.raises(ValueError, match="scheme"):
+            OptimizationClient("https://127.0.0.1:9")
+
+
+# ----------------------------------------------------------------------
+# Health endpoints and the RemoteShard readiness gate
+# ----------------------------------------------------------------------
+class TestReadinessGate:
+    def test_health_and_check_ready_on_live_daemon(self, daemon):
+        client = OptimizationClient(daemon.url)
+        assert client.health() == {"status": "ok"}
+        payload = client.check_ready()
+        assert payload["ready"] is True
+
+    def test_check_ready_carries_the_daemon_reason(self, daemon):
+        daemon._pool.shutdown(wait=True)
+        daemon._pool = None
+        client = OptimizationClient(daemon.url)
+        with pytest.raises(ClientError, match="not ready.*dispatcher pool"):
+            client.check_ready()
+
+    def test_remote_shard_refuses_dispatch_to_unready_daemon(
+            self, daemon, small_catalog):
+        daemon._pool.shutdown(wait=True)
+        daemon._pool = None
+        shard = RemoteShard(daemon.url, spec=FAST_SPEC)
+        with pytest.raises(ClientError, match="not ready"):
+            shard.optimize_fleet({"a": small_pipeline(small_catalog)})
+
+
+# ----------------------------------------------------------------------
 # 429 retry behaviour against a scripted stub daemon
 # ----------------------------------------------------------------------
 class _ScriptedServer:
@@ -431,6 +493,55 @@ class TestRemoteShardFanOut:
         # fleet-wide arithmetic equals the single-service run.
         assert merged.cache_misses == local.cache_misses
         assert merged.cache_hits == local.cache_hits
+
+    def test_multisource_fleet_round_trips_byte_identical(self):
+        """Acceptance: a zip/interleave fleet survives the full service
+        path. The local ``BatchOptimizer`` report, a single daemon's
+        report, and a 2-shard ``RemoteShard`` merged report must agree
+        on names/signatures/speedups/bottlenecks, and every job's
+        rewritten program must be **byte-identical** JSON across all
+        three — multi-source DAGs serialize canonically on the wire.
+        """
+        fleet = generate_pipeline_fleet(
+            num_jobs=8, distinct=4, seed=21,
+            config=FleetConfig(
+                domain_weights={"multimodal": 0.5, "rl_replay": 0.5},
+                optimize_spec=FAST_SPEC),
+        )
+        local = BatchOptimizer(executor="serial",
+                               spec=FAST_SPEC).optimize_fleet(fleet)
+        # The fleet must actually exercise both merge kinds.
+        assert any('"zip"' in j.pipeline_json for j in local.jobs)
+        assert any('"interleave_datasets"' in j.pipeline_json
+                   for j in local.jobs)
+        daemons = [
+            OptimizationDaemon(
+                BatchOptimizer(executor="serial", spec=FAST_SPEC)).start()
+            for _ in range(3)
+        ]
+        try:
+            # One daemon serving the whole fleet...
+            single = OptimizationClient(daemons[0].url).optimize_fleet(fleet)
+            # ...and a cold 2-shard fan-out of the same fleet.
+            merged = ShardedOptimizer(
+                [RemoteShard(dm.url) for dm in daemons[1:]]
+            ).optimize_fleet(fleet)
+        finally:
+            for dm in daemons:
+                dm.close()
+        for remote in (single, merged):
+            assert [j.name for j in remote.jobs] == \
+                   [j.name for j in local.jobs]
+            assert [j.signature for j in remote.jobs] == \
+                   [j.signature for j in local.jobs]
+            assert [j.speedup for j in remote.jobs] == \
+                   [j.speedup for j in local.jobs]
+            assert [j.bottleneck for j in remote.jobs] == \
+                   [j.bottleneck for j in local.jobs]
+            assert [j.pipeline_json for j in remote.jobs] == \
+                   [j.pipeline_json for j in local.jobs]
+            assert remote.cache_misses == local.cache_misses
+            assert remote.cache_hits == local.cache_hits
 
     def test_remote_shard_stats_match_contract(self, daemon):
         shard = RemoteShard(daemon.url)

@@ -524,6 +524,50 @@ class TestBugfixRegressions:
         assert _post(f"{daemon.url}/nope?x=1", {})[0] == 404
 
 
+class TestHealthEndpoints:
+    def test_healthz_is_pure_liveness(self, daemon):
+        status, payload, _ = _get(f"{daemon.url}/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}
+
+    def test_ready_on_running_daemon(self, daemon):
+        status, payload, _ = _get(f"{daemon.url}/ready")
+        assert status == 200
+        assert payload["ready"] is True
+        assert payload["store_entries"] == 0
+
+    def test_ready_503_when_dispatcher_down(self, daemon):
+        """Liveness and readiness must diverge: an HTTP thread serving
+        over a dead dispatcher pool is alive but not ready."""
+        daemon._pool.shutdown(wait=True)
+        daemon._pool = None
+        assert _get(f"{daemon.url}/healthz")[0] == 200
+        status, payload, _ = _get(f"{daemon.url}/ready")
+        assert status == 503
+        assert payload["ready"] is False
+        assert "dispatcher pool" in payload["reason"]
+
+    def test_ready_503_when_store_unreachable(self, daemon):
+        class BrokenStore:
+            def __len__(self):
+                raise OSError("backing directory gone")
+
+        daemon.optimizer.store = BrokenStore()
+        status, payload, _ = _get(f"{daemon.url}/ready")
+        assert status == 503
+        assert payload["ready"] is False
+        assert "store unreachable" in payload["reason"]
+        assert "backing directory gone" in payload["reason"]
+
+    def test_readiness_before_start(self, test_machine):
+        dm = OptimizationDaemon(
+            BatchOptimizer(machine=test_machine, executor="serial",
+                           spec=FAST_SPEC),
+        )
+        ready, payload = dm.readiness()
+        assert not ready and payload["ready"] is False
+
+
 class TestCompactEndpointRouting:
     def test_compact_rejects_non_object_body(self, daemon):
         status, payload, _ = _post(f"{daemon.url}/compact", [1, 2])
