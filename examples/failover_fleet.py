@@ -1,0 +1,159 @@
+"""Survive a shard host dying mid-batch: failover through the ring.
+
+Three optimization daemons run as separate OS processes — three logical
+hosts. One of them is rigged to hard-exit (``os._exit``) the instant a
+batch starts running: it accepts work over HTTP, then the "host" dies
+mid-batch. The :class:`~repro.service.ShardedOptimizer` front-end
+notices (connection refused on the next poll), drops the host from the
+batch's consistent-hash ring, re-homes its jobs onto the two survivors,
+and still returns one complete, correctly-deduplicated fleet report —
+flagged with a ``degraded`` section naming the dead host, the re-homed
+jobs, and the retry counts. A second healthy pass over the same fleet
+then shows the degraded section disappearing again (byte-faithful happy
+path) and the survivors' caches still warm.
+
+Run: ``python examples/failover_fleet.py``
+"""
+
+import json
+import os
+import selectors
+import subprocess
+import sys
+import tempfile
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.core.spec import OptimizeSpec
+from repro.fleet.generator import FleetConfig, generate_pipeline_fleet
+from repro.service import (
+    OptimizationClient,
+    RemoteShard,
+    ShardedOptimizer,
+    shard_fleet,
+)
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+#: analytic backend: decision-only traces, the whole example runs in s
+SPEC = OptimizeSpec(iterations=1, backend="analytic",
+                    trace_duration=1.0, trace_warmup=0.25)
+NUM_HOSTS = 3
+
+#: one daemon process; argv: store_dir, mode ("serve" | "die"). In
+#: "die" mode the optimizer kills the whole process the moment a batch
+#: starts running — work accepted over HTTP, host dead mid-batch.
+DAEMON_SCRIPT = textwrap.dedent("""
+    import os, sys
+    from repro.core.spec import OptimizeSpec
+    from repro.service import BatchOptimizer, DiskStore, OptimizationDaemon
+
+    spec = OptimizeSpec(iterations=1, backend="analytic",
+                        trace_duration=1.0, trace_warmup=0.25)
+
+    class DyingOptimizer(BatchOptimizer):
+        def optimize_fleet(self, jobs):
+            os._exit(17)
+
+    cls = DyingOptimizer if sys.argv[2] == "die" else BatchOptimizer
+    daemon = OptimizationDaemon(
+        cls(executor="serial", spec=spec, store=DiskStore(sys.argv[1])))
+    daemon.start()
+    print(daemon.port, flush=True)
+    sys.stdin.read()
+    daemon.close()
+""")
+
+
+def start_daemon(store_dir, mode):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", DAEMON_SCRIPT, str(store_dir), mode],
+        env=env, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True,
+    )
+    sel = selectors.DefaultSelector()
+    sel.register(proc.stdout, selectors.EVENT_READ)
+    try:
+        if not sel.select(timeout=60):
+            raise RuntimeError("daemon subprocess never printed its port")
+    finally:
+        sel.close()
+    port = int(proc.stdout.readline().strip())
+    return proc, f"http://127.0.0.1:{port}"
+
+
+def stop_daemon(proc):
+    if proc.poll() is None:
+        try:
+            proc.stdin.close()
+            proc.wait(timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            proc.kill()
+            proc.wait(timeout=30)
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+def main():
+    fleet = generate_pipeline_fleet(
+        num_jobs=12, distinct=4, seed=11,
+        config=FleetConfig(optimize_spec=SPEC),  # default §3 domain mix
+    )
+    # Placement is a pure function of the host set, so we can say in
+    # advance which jobs the doomed host holds.
+    die_idx = next(i for i, shard in enumerate(shard_fleet(fleet, NUM_HOSTS))
+                   if shard)
+    doomed = [j.name for j in shard_fleet(fleet, NUM_HOSTS)[die_idx]]
+    store_dirs = [tempfile.mkdtemp(prefix=f"repro-failover{i}-")
+                  for i in range(NUM_HOSTS)]
+
+    print(f"== {len(fleet)} jobs over {NUM_HOSTS} daemon processes; "
+          f"host shard-{die_idx} is rigged to die mid-batch "
+          f"(holds {doomed})")
+    procs, urls = [], []
+    for i, store_dir in enumerate(store_dirs):
+        proc, url = start_daemon(
+            store_dir, "die" if i == die_idx else "serve")
+        procs.append(proc)
+        urls.append(url)
+        print(f"  shard-{i}: {url}"
+              + ("  [rigged to die]" if i == die_idx else ""))
+
+    try:
+        front_end = ShardedOptimizer(
+            [RemoteShard(OptimizationClient(url, poll_interval=0.02),
+                         timeout=120.0) for url in urls],
+            shard_timeout=120.0,
+        )
+        report = front_end.optimize_fleet(fleet)
+        print(f"== merged report: {len(report.jobs)} jobs, "
+              f"{report.cache_hit_rate:.0%} cache hits — complete "
+              "despite the dead host")
+        print("== degraded section:")
+        print(textwrap.indent(
+            json.dumps(report.degraded, indent=2, sort_keys=True), "  "))
+        assert sorted(report.degraded["rehomed_jobs"]) == sorted(doomed)
+        print(f"  (host shard-{die_idx} exited "
+              f"{procs[die_idx].wait(timeout=30)}; its {len(doomed)} "
+              "jobs re-homed to survivors)")
+
+        print("== healthy pass: same fleet, survivors only")
+        survivors = [u for i, u in enumerate(urls) if i != die_idx]
+        healthy = ShardedOptimizer(
+            [RemoteShard(OptimizationClient(u, poll_interval=0.02))
+             for u in survivors])
+        second = healthy.optimize_fleet(fleet)
+        assert second.degraded is None
+        print(f"  degraded section: {second.degraded} "
+              f"(byte-faithful happy path), "
+              f"{second.cache_hit_rate:.0%} served from warm caches")
+    finally:
+        for proc in procs:
+            stop_daemon(proc)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -170,3 +170,33 @@ def merged_cache_counts(
             seen_missed.add(key)
             misses += 1
     return hits, misses
+
+
+def merge_degraded_sections(
+    sections: Iterable[Optional[dict]],
+) -> Optional[dict]:
+    """Combine per-report ``degraded`` sections into one.
+
+    A ``degraded`` section records shard-fabric faults survived while
+    producing a report: ``failed_shards`` (one record per failed
+    dispatch: host, error kind/text, the jobs it held), ``rehomed_jobs``
+    (job name → where it moved and how many re-dispatch attempts it
+    took), and ``redispatch_rounds``. Merging concatenates the failure
+    records, unions the re-homed jobs (later sections win on a name
+    collision — they describe the later dispatch), and sums the rounds.
+    All-``None`` inputs merge to ``None``: a fully healthy fleet's
+    report carries no degraded section at all, byte-identically to a
+    report produced before the fault-tolerance layer existed.
+    This is the single place that arithmetic lives;
+    :meth:`repro.service.FleetOptimizationReport.merge` delegates here.
+    """
+    present = [s for s in sections if s]
+    if not present:
+        return None
+    merged: dict = {"failed_shards": [], "rehomed_jobs": {},
+                    "redispatch_rounds": 0}
+    for section in present:
+        merged["failed_shards"].extend(section.get("failed_shards", ()))
+        merged["rehomed_jobs"].update(section.get("rehomed_jobs", {}))
+        merged["redispatch_rounds"] += section.get("redispatch_rounds", 0)
+    return merged

@@ -21,6 +21,12 @@ cache hit rate). Around it:
   job batches across logical hosts (in-process optimizers or remote
   daemons over HTTP), dispatched concurrently, with per-shard reports
   merged into one.
+* :mod:`repro.service.ring` — the consistent-hash ring under the
+  sharder: virtual-node placement keyed by host id, so membership
+  changes move only ~K/N signatures instead of reshuffling everything.
+* :mod:`repro.service.errors` — the typed failure taxonomy
+  (``ShardUnreachable`` / ``ShardTimeout`` / ``ShardSaturated``,
+  retryable vs give-up) that drives ``ShardedOptimizer``'s failover.
 """
 
 from repro.core.spec import OptimizeSpec
@@ -34,6 +40,7 @@ from repro.service.batch import (
 from repro.service.client import (
     BatchFailedError,
     ClientError,
+    ClientTimeout,
     OptimizationClient,
     RemoteShard,
 )
@@ -42,6 +49,14 @@ from repro.service.daemon import (
     OptimizationDaemon,
     job_lane,
 )
+from repro.service.errors import (
+    ShardDispatchError,
+    ShardFailure,
+    ShardSaturated,
+    ShardTimeout,
+    ShardUnreachable,
+)
+from repro.service.ring import HashRing, default_host_ids
 from repro.service.shard import ShardedOptimizer, shard_fleet, shard_index
 from repro.service.store import DiskStore, InMemoryStore, ResultStore
 
@@ -50,8 +65,10 @@ __all__ = [
     "BatchFailedError",
     "BatchOptimizer",
     "ClientError",
+    "ClientTimeout",
     "DiskStore",
     "FleetOptimizationReport",
+    "HashRing",
     "InMemoryStore",
     "JobResult",
     "OptimizationClient",
@@ -60,7 +77,13 @@ __all__ = [
     "OptimizeSpec",
     "RemoteShard",
     "ResultStore",
+    "ShardDispatchError",
+    "ShardFailure",
+    "ShardSaturated",
+    "ShardTimeout",
+    "ShardUnreachable",
     "ShardedOptimizer",
+    "default_host_ids",
     "job_lane",
     "merge_fleet_reports",
     "shard_fleet",

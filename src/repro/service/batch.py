@@ -48,6 +48,7 @@ from repro.core.spec import OptimizeSpec
 from repro.fleet.analysis import (
     SpeedupStats,
     bottleneck_histogram,
+    merge_degraded_sections,
     merged_cache_counts,
     speedup_distribution,
 )
@@ -145,11 +146,20 @@ class JobResult:
 
 @dataclass
 class FleetOptimizationReport:
-    """Aggregated outcome of one :meth:`BatchOptimizer.optimize_fleet`."""
+    """Aggregated outcome of one :meth:`BatchOptimizer.optimize_fleet`.
+
+    ``degraded`` is ``None`` for a fault-free run; a sharded dispatch
+    that survived host failures records them here (failed shards,
+    re-homed jobs, retry counts — see
+    :func:`repro.fleet.analysis.merge_degraded_sections` for the
+    schema). Every submitted job still appears in ``jobs`` exactly
+    once; ``degraded`` says what it took to get them all.
+    """
 
     jobs: List[JobResult]
     cache_hits: int
     cache_misses: int
+    degraded: Optional[dict] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -178,13 +188,18 @@ class FleetOptimizationReport:
         cache would have reported. The dedup arithmetic lives in
         :func:`repro.fleet.analysis.merged_cache_counts`.
         """
+        reports = list(reports)
         jobs = [j for r in reports for j in r.jobs]
         hits, misses = merged_cache_counts(
             # Pre-store results may lack a cache_key; fall back to the
             # structural signature, the dominant term of the key.
             (j.cache_key or j.signature, j.cache_hit) for j in jobs
         )
-        return cls(jobs=jobs, cache_hits=hits, cache_misses=misses)
+        return cls(
+            jobs=jobs, cache_hits=hits, cache_misses=misses,
+            degraded=merge_degraded_sections(
+                r.degraded for r in reports),
+        )
 
     def speedups(self) -> SpeedupStats:
         """Distribution of per-job observed speedups."""
@@ -230,6 +245,11 @@ class FleetOptimizationReport:
             (f"bottleneck: {label}", count)
             for label, count in self.bottlenecks().items()
         )
+        if self.degraded is not None:
+            rows.append(("failed shards",
+                         len(self.degraded.get("failed_shards", ()))))
+            rows.append(("re-homed jobs",
+                         len(self.degraded.get("rehomed_jobs", {}))))
         return format_table(("metric", "value"), rows,
                             title="Fleet optimization summary")
 

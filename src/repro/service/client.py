@@ -48,28 +48,24 @@ from repro.graph.serialize import (
     pipeline_to_json,
 )
 from repro.service.batch import FleetOptimizationReport, JobResult
+from repro.service.errors import (  # ClientError re-exported: historical home
+    ClientError,
+    ClientTimeout,
+    ShardFailure,
+    ShardSaturated,
+    ShardTimeout,
+    ShardUnreachable,
+)
 
 __all__ = [
     "BatchFailedError",
     "ClientError",
+    "ClientTimeout",
     "OptimizationClient",
     "RemoteShard",
     "fleet_to_body",
     "report_from_dict",
 ]
-
-
-class ClientError(Exception):
-    """A daemon interaction that failed (HTTP error, timeout, transport).
-
-    ``status`` carries the HTTP status code when the daemon answered
-    with one (``None`` for transport failures and client-side
-    timeouts).
-    """
-
-    def __init__(self, message: str, status: Optional[int] = None) -> None:
-        super().__init__(message)
-        self.status = status
 
 
 class BatchFailedError(ClientError):
@@ -188,6 +184,7 @@ def report_from_dict(data: dict) -> FleetOptimizationReport:
         jobs=jobs,
         cache_hits=data["cache_hits"],
         cache_misses=data["cache_misses"],
+        degraded=data.get("degraded"),
     )
 
 
@@ -258,10 +255,13 @@ class OptimizationClient:
         return f"{type(self).__name__}({self.base_url!r})"
 
     # -- transport -----------------------------------------------------
-    def _connection(self) -> http.client.HTTPConnection:
+    def _connection(
+        self, timeout: Optional[float] = None
+    ) -> http.client.HTTPConnection:
         if self._conn is None:
             conn = http.client.HTTPConnection(
-                self._host, self._port, timeout=self.timeout
+                self._host, self._port,
+                timeout=timeout if timeout is not None else self.timeout,
             )
             conn.connect()
             # Small request/response exchanges on a long-lived socket
@@ -292,16 +292,22 @@ class OptimizationClient:
         self.close()
 
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None
+        self, method: str, path: str, body: Optional[dict] = None,
+        timeout: Optional[float] = None,
     ) -> Tuple[int, dict, Dict[str, str]]:
         """One JSON request over the persistent connection.
 
         HTTP error statuses return like successes; transport failures
-        raise :class:`ClientError`. A failure on a reused socket is
+        raise :class:`ClientError` — a deadline expiry specifically
+        raises :class:`ClientTimeout`. A failure on a reused socket is
         retried once on a fresh one — the server may have closed an
         idle keep-alive connection between requests — but a fresh
         connection that fails means the daemon is down, and raises
         without a blind re-send (a POST may not be idempotent).
+
+        ``timeout`` overrides the client-wide socket timeout for this
+        one call: health/readiness probes can fail in milliseconds
+        while real requests keep the 30 s budget.
         """
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
@@ -310,7 +316,9 @@ class OptimizationClient:
             while True:
                 fresh = self._conn is None
                 try:
-                    conn = self._connection()
+                    conn = self._connection(timeout)
+                    if timeout is not None and conn.sock is not None:
+                        conn.sock.settimeout(timeout)
                     conn.request(
                         method, self._path_prefix + path,
                         body=data, headers=headers,
@@ -319,9 +327,18 @@ class OptimizationClient:
                     raw = resp.read()  # drain so the socket is reusable
                     status = resp.status
                     resp_headers = dict(resp.getheaders())
+                    if timeout is not None and conn.sock is not None:
+                        conn.sock.settimeout(self.timeout)
                 except (http.client.HTTPException, OSError) as exc:
                     self._drop_connection()
                     if fresh:
+                        if isinstance(exc, socket.timeout):
+                            budget = (timeout if timeout is not None
+                                      else self.timeout)
+                            raise ClientTimeout(
+                                f"{method} {path} to {self.base_url} "
+                                f"timed out after {budget}s"
+                            ) from exc
                         raise ClientError(
                             f"daemon at {self.base_url} unreachable: {exc}"
                         ) from exc
@@ -382,7 +399,12 @@ class OptimizationClient:
         return payload
 
     def wait(self, batch_id: str, timeout: float = 600.0) -> dict:
-        """Poll ``GET /jobs/<id>`` with backoff until done/failed."""
+        """Poll ``GET /jobs/<id>`` with backoff until done/failed.
+
+        Raises :class:`ClientTimeout` when the batch is still pending
+        at the deadline — callers distinguish "took too long" (maybe
+        re-home the work) from transport or HTTP failures.
+        """
         deadline = self._clock() + timeout
         interval = self.poll_interval
         while True:
@@ -391,7 +413,7 @@ class OptimizationClient:
                 return payload
             remaining = deadline - self._clock()
             if remaining <= 0:
-                raise ClientError(
+                raise ClientTimeout(
                     f"batch {batch_id!r} still {payload['status']!r} "
                     f"after {timeout}s"
                 )
@@ -416,22 +438,30 @@ class OptimizationClient:
             raise self._error(status, payload, "stats")
         return payload
 
-    def health(self) -> dict:
-        """``GET /healthz`` — liveness probe."""
-        status, payload, _ = self._request("GET", "/healthz")
+    def health(self, timeout: Optional[float] = None) -> dict:
+        """``GET /healthz`` — liveness probe. ``timeout`` overrides the
+        client-wide socket timeout for this one probe."""
+        status, payload, _ = self._request(
+            "GET", "/healthz", timeout=timeout)
         if status != 200:
             raise self._error(status, payload, "health check")
         return payload
 
-    def check_ready(self) -> dict:
+    # Probe-style alias: same shape as check_ready, liveness semantics.
+    check_health = health
+
+    def check_ready(self, timeout: Optional[float] = None) -> dict:
         """``GET /ready`` — raise unless the daemon will accept work.
 
         Returns the readiness payload on 200; a ``503`` (or any other
         answer) raises :class:`ClientError` carrying the daemon's
         stated reason, so callers fail fast with *why* instead of
-        submitting into a daemon that can't run the batch.
+        submitting into a daemon that can't run the batch. ``timeout``
+        overrides the client-wide socket timeout for this one probe —
+        a membership sweep over a dead host should cost milliseconds,
+        not the full request budget.
         """
-        status, payload, _ = self._request("GET", "/ready")
+        status, payload, _ = self._request("GET", "/ready", timeout=timeout)
         if status == 200 and payload.get("ready"):
             return payload
         reason = payload.get("reason") or payload.get("error") or payload
@@ -485,6 +515,17 @@ class RemoteShard:
     daemon processes freely. ``stats()`` returns the daemon's cache
     accounting (hits/misses/rate/store size) — the same mapping an
     in-process shard reports.
+
+    Failures are raised as the typed shard taxonomy
+    (:mod:`repro.service.errors`): transport death, failed readiness,
+    and 5xx answers become :class:`ShardUnreachable`; a blown deadline
+    becomes :class:`ShardTimeout`; a 429 storm past the client's retry
+    budget becomes :class:`ShardSaturated` — all retryable, so a
+    :class:`~repro.service.shard.ShardedOptimizer` re-homes this
+    shard's jobs. A batch that genuinely *failed* on the daemon
+    (:class:`BatchFailedError`) or was rejected as malformed
+    propagates unchanged: deterministic failures would fail identically
+    on every host, so they must surface, not bounce around the ring.
     """
 
     def __init__(
@@ -492,6 +533,7 @@ class RemoteShard:
         client: Union[str, OptimizationClient],
         spec: Optional[OptimizeSpec] = None,
         timeout: float = 600.0,
+        probe_timeout: float = 2.0,
     ) -> None:
         if isinstance(client, str):
             client = OptimizationClient(client, spec=spec)
@@ -502,6 +544,7 @@ class RemoteShard:
             )
         self.client = client
         self.timeout = timeout
+        self.probe_timeout = probe_timeout
 
     @property
     def url(self) -> str:
@@ -510,14 +553,41 @@ class RemoteShard:
     def __repr__(self) -> str:
         return f"RemoteShard({self.url!r})"
 
+    def check_ready(self, timeout: Optional[float] = None) -> dict:
+        """Readiness probe with a probe-scale timeout — the hook
+        :class:`~repro.service.shard.ShardedOptimizer` membership
+        sweeps call."""
+        return self.client.check_ready(
+            timeout=timeout if timeout is not None else self.probe_timeout)
+
     def optimize_fleet(
         self, jobs: Union[Mapping[str, object], Sequence]
     ) -> FleetOptimizationReport:
+        host = self.url
         # Gate on readiness first: a daemon whose dispatcher is down
-        # would otherwise accept nothing but still cost this shard its
-        # submit retries, and the resulting error would not say *why*.
-        self.client.check_ready()
-        return self.client.optimize_fleet(jobs, timeout=self.timeout)
+        # (or draining) would otherwise accept nothing but still cost
+        # this shard its submit retries, and the resulting error would
+        # not say *why*.
+        try:
+            self.client.check_ready(timeout=self.probe_timeout)
+        except ShardFailure:
+            raise
+        except ClientError as exc:
+            raise ShardUnreachable(host, str(exc)) from exc
+        try:
+            return self.client.optimize_fleet(jobs, timeout=self.timeout)
+        except ShardFailure:
+            raise
+        except BatchFailedError:
+            raise  # give-up: the batch fails deterministically anywhere
+        except ClientTimeout as exc:
+            raise ShardTimeout(host, str(exc)) from exc
+        except ClientError as exc:
+            if exc.status == 429:
+                raise ShardSaturated(host, str(exc)) from exc
+            if exc.status is None or exc.status >= 500:
+                raise ShardUnreachable(host, str(exc)) from exc
+            raise  # 4xx: a malformed batch is a give-up, not a re-home
 
     def stats(self) -> dict:
         return self.client.stats()["cache"]

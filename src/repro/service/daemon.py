@@ -38,6 +38,18 @@ Query strings are ignored for routing (``POST /optimize?src=ci`` routes
 like ``POST /optimize``), and any unexpected error inside a handler
 answers ``500`` with a JSON body instead of dropping the connection.
 
+**Self-care and graceful drain.** With ``compact_interval_seconds``
+set, a background sweep thread garbage-collects the store on its own
+schedule (client ``POST /compact`` still works). ``close()`` — and
+``SIGTERM``, via :meth:`OptimizationDaemon.install_sigterm_handler` —
+drains instead of hard-stopping: ``/ready`` flips to 503 with a
+``draining`` hint, new ``POST /optimize`` submissions are refused (503
++ ``"draining": true``), in-flight batches get up to the drain deadline
+to finish while status/report endpoints keep answering, and only then
+does the daemon stop. Load balancers and
+:class:`~repro.service.shard.ShardedOptimizer` membership probes key
+off the 503 to re-home traffic with zero dropped work.
+
 **Admission control** bounds in-flight work *per lane*: jobs whose spec
 names the ``analytic`` backend are microseconds of work and get a wide
 lane; everything else (``simulate``, ``adaptive``, custom backends) may
@@ -52,11 +64,13 @@ from __future__ import annotations
 import itertools
 import json
 import math
+import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.spec import OptimizeSpec
 from repro.graph.serialize import pipeline_from_dict
@@ -166,11 +180,17 @@ class _Batch:
 
 
 class _RequestError(Exception):
-    """A client error with an HTTP status."""
+    """A client error with an HTTP status.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``extra`` keys are merged into the JSON error payload — e.g. the
+    ``draining`` hint a load balancer keys failover on.
+    """
+
+    def __init__(self, status: int, message: str,
+                 extra: Optional[Dict[str, object]] = None) -> None:
         super().__init__(message)
         self.status = status
+        self.extra = extra or {}
 
 
 def _finite(value: float) -> Optional[float]:
@@ -202,6 +222,20 @@ class OptimizationDaemon:
         full reports — are retained for ``GET /report/<id>``; the
         oldest are evicted beyond this bound so a long-running daemon's
         memory stays flat. ``None`` retains everything.
+    compact_interval_seconds / compact_max_age_seconds:
+        Self-care GC: when an interval is given, a background sweep
+        thread runs :meth:`run_gc_sweep` every interval, evicting
+        stored results older than ``compact_max_age_seconds`` — the
+        same provenance-age compaction ``POST /compact`` triggers, but
+        no longer dependent on a client remembering to call it. Ages
+        are measured with the optimizer's injected clock (the clock
+        that stamped the entries), so sweeps are testable without
+        wall-clock waits.
+    drain_timeout_seconds:
+        How long :meth:`close` (graceful drain) waits for in-flight
+        batches to finish before shutting the pool down anyway.
+    monotonic:
+        Injectable monotonic clock used for the drain deadline.
     """
 
     def __init__(
@@ -213,9 +247,20 @@ class OptimizationDaemon:
         max_analytic_jobs: Optional[int] = 256,
         workers: int = 2,
         max_finished_batches: Optional[int] = 256,
+        compact_interval_seconds: Optional[float] = None,
+        compact_max_age_seconds: float = 3600.0,
+        drain_timeout_seconds: float = 30.0,
+        monotonic: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_finished_batches is not None and max_finished_batches < 1:
             raise ValueError("max_finished_batches must be >= 1")
+        if compact_interval_seconds is not None and \
+                compact_interval_seconds <= 0:
+            raise ValueError("compact_interval_seconds must be positive")
+        if compact_max_age_seconds < 0:
+            raise ValueError("compact_max_age_seconds must be >= 0")
+        if drain_timeout_seconds < 0:
+            raise ValueError("drain_timeout_seconds must be >= 0")
         self.optimizer = optimizer if optimizer is not None else BatchOptimizer()
         self.admission = AdmissionController(
             max_simulate_jobs=max_simulate_jobs,
@@ -225,22 +270,42 @@ class OptimizationDaemon:
         self._requested_port = port
         self._workers = workers
         self._max_finished = max_finished_batches
+        self._compact_interval = compact_interval_seconds
+        self._compact_max_age = compact_max_age_seconds
+        self._drain_timeout = drain_timeout_seconds
+        self._monotonic = monotonic
         self._batches: Dict[str, _Batch] = {}
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
+        #: notified whenever a batch finishes — the drain wait's pulse
+        self._batch_done = threading.Condition(self._lock)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._server: Optional[ThreadingHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
+        self._gc_thread: Optional[threading.Thread] = None
+        self._gc_stop = threading.Event()
+        self._draining = False
         self.rejected = 0
+        self.gc_sweeps = 0
+        self.gc_removed = 0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "OptimizationDaemon":
         """Bind and serve in a background thread (idempotent; a closed
         daemon can be started again)."""
+        self._draining = False
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self._workers, thread_name_prefix="repro-daemon"
             )
+        if self._gc_thread is None and self._compact_interval is not None:
+            self._gc_stop.clear()
+            self._gc_thread = threading.Thread(
+                target=self._gc_loop,
+                name="repro-daemon-gc",
+                daemon=True,
+            )
+            self._gc_thread.start()
         if self._server is not None:
             return self
         daemon = self
@@ -261,15 +326,91 @@ class OptimizationDaemon:
         self._server_thread.start()
         return self
 
-    def close(self, wait: bool = True) -> None:
-        """Stop serving and (optionally) wait for in-flight batches."""
+    def install_sigterm_handler(self) -> bool:
+        """Drain gracefully on ``SIGTERM`` (supervisor/orchestrator
+        stop): flip ``/ready`` to 503, finish in-flight batches up to
+        the drain deadline, then exit 0. Returns ``False`` when the
+        handler cannot be installed (not the main thread)."""
+        daemon = self
+
+        def _drain(signum, frame):  # noqa: ARG001 - signal signature
+            daemon.close(wait=True)
+            raise SystemExit(0)
+
+        try:
+            signal.signal(signal.SIGTERM, _drain)
+        except ValueError:  # signal only works in the main thread
+            return False
+        return True
+
+    # -- self-care GC sweep --------------------------------------------
+    def _gc_loop(self) -> None:
+        while not self._gc_stop.wait(self._compact_interval):
+            self.run_gc_sweep()
+
+    def run_gc_sweep(self) -> int:
+        """One provenance-age compaction pass over the result store.
+
+        The periodic sweep thread calls this every
+        ``compact_interval_seconds``; it is public so tests (and
+        operators) can force a sweep deterministically. Returns the
+        number of entries evicted; a store without ``compact`` support
+        sweeps to 0 instead of raising — self-care must never kill the
+        daemon.
+        """
+        try:
+            removed = self.optimizer.compact_store(self._compact_max_age)
+        except Exception:  # noqa: BLE001 - self-care never raises
+            removed = 0
+        with self._lock:
+            self.gc_sweeps += 1
+            self.gc_removed += removed
+        return removed
+
+    # -- graceful drain ------------------------------------------------
+    def _active_batches(self) -> int:
+        return sum(1 for b in self._batches.values()
+                   if b.status in ("queued", "running"))
+
+    def close(self, wait: bool = True,
+              drain_timeout: Optional[float] = None) -> None:
+        """Drain gracefully, then stop serving.
+
+        The daemon first flips to *draining*: ``GET /ready`` answers
+        503 and new ``POST /optimize`` submissions are rejected with a
+        ``draining`` hint, while status/report endpoints keep serving
+        so clients can collect in-flight results. In-flight batches get
+        up to ``drain_timeout`` seconds (default: the constructor's
+        ``drain_timeout_seconds``) to finish; whatever is still running
+        after that is abandoned to its dispatcher thread. Only then do
+        the HTTP server and the pool stop. ``wait=False`` skips the
+        drain wait entirely (the old hard-stop behaviour).
+        """
+        self._draining = True
+        if wait and self._pool is not None:
+            budget = (drain_timeout if drain_timeout is not None
+                      else self._drain_timeout)
+            deadline = self._monotonic() + budget
+            with self._batch_done:
+                while self._active_batches() > 0:
+                    remaining = deadline - self._monotonic()
+                    if remaining <= 0:
+                        break
+                    self._batch_done.wait(min(remaining, 0.1))
+        if self._gc_thread is not None:
+            self._gc_stop.set()
+            self._gc_thread.join(timeout=5)
+            self._gc_thread = None
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
             self._server = None
             self._server_thread = None
         if self._pool is not None:
-            self._pool.shutdown(wait=wait)
+            with self._lock:
+                drained = self._active_batches() == 0
+            self._pool.shutdown(wait=wait and drained,
+                                cancel_futures=not drained)
             self._pool = None
 
     def __enter__(self) -> "OptimizationDaemon":
@@ -291,6 +432,13 @@ class OptimizationDaemon:
     # -- request handling ----------------------------------------------
     def submit(self, body: dict) -> dict:
         """Validate, admit, and enqueue one ``POST /optimize`` body."""
+        if self._draining:
+            raise _RequestError(
+                503,
+                "daemon is draining: in-flight batches are finishing, "
+                "new work is refused; resubmit to another host",
+                extra={"draining": True},
+            )
         jobs = self._parse_jobs(body)
         lanes: Dict[str, int] = {}
         for job in jobs:
@@ -419,6 +567,8 @@ class OptimizationDaemon:
             batch.finished_at = self.optimizer._clock()
             self.admission.release(batch.lanes)
             self._evict_finished()
+            with self._batch_done:
+                self._batch_done.notify_all()  # pulse the drain wait
 
     def _evict_finished(self) -> None:
         """Drop the earliest-*finished* batch records beyond the bound.
@@ -494,7 +644,7 @@ class OptimizationDaemon:
                      "available once status is 'done'"
             )
         report = batch.report
-        return {
+        payload = {
             "id": batch.id,
             "cache_hits": report.cache_hits,
             "cache_misses": report.cache_misses,
@@ -521,6 +671,11 @@ class OptimizationDaemon:
                 for j in report.jobs
             ],
         }
+        # Byte-faithful on the happy path: a fault-free report carries
+        # no degraded key at all, exactly like pre-failover daemons.
+        if report.degraded is not None:
+            payload["degraded"] = report.degraded
+        return payload
 
     def health(self) -> dict:
         """``GET /healthz`` — liveness only: answering at all is the
@@ -536,6 +691,15 @@ class OptimizationDaemon:
         :class:`~repro.service.store.DiskStore` directory would accept
         batches it can never finish.
         """
+        if self._draining:
+            with self._lock:
+                active = self._active_batches()
+            return False, {
+                "ready": False,
+                "draining": True,
+                "reason": f"draining: {active} in-flight batch(es) "
+                          "finishing, no new work accepted",
+            }
         with self._lock:
             pool = self._pool
         if pool is None:
@@ -559,6 +723,7 @@ class OptimizationDaemon:
         with self._lock:
             batches = list(self._batches.values())
             rejected = self.rejected
+            gc_sweeps, gc_removed = self.gc_sweeps, self.gc_removed
         by_status: Dict[str, int] = {}
         for b in batches:
             by_status[b.status] = by_status.get(b.status, 0) + 1
@@ -570,6 +735,13 @@ class OptimizationDaemon:
             "in_flight_jobs": self.admission.in_flight(),
             "admission_bounds": dict(self.admission.bounds),
             "rejected_batches": rejected,
+            "draining": self._draining,
+            "gc": {
+                "interval_seconds": self._compact_interval,
+                "max_age_seconds": self._compact_max_age,
+                "sweeps": gc_sweeps,
+                "removed": gc_removed,
+            },
         }
 
 
@@ -599,7 +771,7 @@ class _DaemonHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_json(self, exc: _RequestError) -> None:
-        payload = {"error": str(exc)}
+        payload = {"error": str(exc), **exc.extra}
         headers = {}
         if exc.status == 429:
             payload["retry_after_seconds"] = 1

@@ -1,0 +1,121 @@
+"""Typed failure taxonomy for the service client and shard fabric.
+
+Mirrors the streamcorpus-pipeline idiom of naming failure classes by
+*what the caller should do next* (``GracefulShutdown`` vs
+``FailedExtraction``; give up vs retry): every shard-level failure is
+either **retryable somewhere else** — the host is gone, stalled, or
+saturated, and the ring can re-home its jobs to survivors — or a
+**give-up** — the batch itself is bad (deterministic failure), and
+re-dispatching it to another host would only fail the same way again.
+
+The shard classes are raised out of :class:`~repro.service.client.
+RemoteShard` (which maps transport-level :class:`ClientError`\\ s onto
+them) and consumed by :class:`~repro.service.shard.ShardedOptimizer`'s
+failover loop; any *other* exception escaping a shard is treated as
+give-up — a bug should surface, not be papered over by re-dispatch.
+
+``ClientError``/``ClientTimeout`` live here (rather than in
+:mod:`repro.service.client`) so the shard taxonomy can subclass
+``ClientError`` without an import cycle; :mod:`repro.service.client`
+re-exports both, so existing ``except ClientError`` call sites are
+unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+__all__ = [
+    "ClientError",
+    "ClientTimeout",
+    "ShardFailure",
+    "ShardUnreachable",
+    "ShardTimeout",
+    "ShardSaturated",
+    "ShardDispatchError",
+]
+
+
+class ClientError(Exception):
+    """A daemon interaction that failed (HTTP error, timeout, transport).
+
+    ``status`` carries the HTTP status code when the daemon answered
+    with one (``None`` for transport failures and client-side
+    timeouts).
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ClientTimeout(ClientError):
+    """A client-side deadline expired: a socket read/connect blew its
+    (per-call) timeout, or :meth:`~repro.service.client.
+    OptimizationClient.wait` gave up polling. ``status`` is ``None`` —
+    the daemon never answered within the budget."""
+
+
+class ShardFailure(ClientError):
+    """One shard host failed to run its slice of a fleet batch.
+
+    ``retryable`` is the class-level verdict: ``True`` means the jobs
+    can be re-homed to surviving hosts via the ring; ``False`` means
+    re-dispatch would deterministically fail again, so the failure must
+    surface to the caller.
+    """
+
+    retryable = False
+
+    def __init__(self, host: str, message: str) -> None:
+        super().__init__(f"shard {host!r}: {message}")
+        self.host = host
+        self.reason = message
+
+
+class ShardUnreachable(ShardFailure):
+    """The host is gone: connection refused/reset, socket died mid-
+    response, readiness probe failed, or the daemon answered that it is
+    draining. Retryable — the ring re-homes its jobs."""
+
+    retryable = True
+
+
+class ShardTimeout(ShardFailure):
+    """The host accepted work but blew its dispatch deadline (stalled
+    daemon, wedged pool, black-holed network). Retryable — the stalled
+    attempt is abandoned and its jobs re-homed."""
+
+    retryable = True
+
+
+class ShardSaturated(ShardFailure):
+    """The host kept answering 429 past the client's retry budget.
+    Retryable — surviving hosts absorb the load instead."""
+
+    retryable = True
+
+
+class ShardDispatchError(RuntimeError):
+    """A fleet dispatch that could not be completed.
+
+    Raised when a shard fails non-retryably, when re-dispatch rounds
+    are exhausted, or when no healthy hosts remain. Unlike the bare
+    first-exception propagation it replaces, this carries **every**
+    shard's failure (``failures``: host id → exception), so one noisy
+    host can no longer mask what happened to the others.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failures: Optional[Mapping[str, BaseException]] = None,
+    ) -> None:
+        self.failures = dict(failures or {})
+        if self.failures:
+            detail = "; ".join(
+                f"{host}: {type(exc).__name__}: {exc}"
+                for host, exc in sorted(self.failures.items())
+            )
+            message = f"{message} [{detail}]"
+        super().__init__(message)

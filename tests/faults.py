@@ -1,0 +1,330 @@
+"""Fault-injection harness for the shard-fabric tests.
+
+Real distributed failures are timing-dependent and unreproducible; the
+chaos tests instead *script* them. This module provides:
+
+* :func:`refused_port` — an address that deterministically refuses TCP
+  connections (a dead host).
+* :class:`FaultyHTTPServer` — a real listening socket whose handling of
+  each request follows a per-(method, path) script: answer normally,
+  close the socket mid-response, stall forever, or storm ``429``s.
+  Scripts let one endpoint behave (``GET /ready`` → 200) while another
+  misbehaves (``POST /optimize`` → stall), which is exactly how partial
+  failures look in production.
+* :class:`FlakyShard` — an in-process shard wrapper that fails its
+  first N dispatches with a scripted exception, then recovers —
+  deterministic "host died and came back" without sockets.
+* :func:`maybe_dump_degraded` — writes a degraded report's JSON to
+  ``$REPRO_DEGRADED_DUMP_DIR`` (when set) so CI uploads the actual
+  degraded payloads as artifacts for offline inspection.
+
+Everything is stdlib: raw ``socket`` + ``threading``, no test-only
+dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from typing import Callable, Dict, Optional, Tuple, Union
+
+__all__ = [
+    "refused_port",
+    "FaultyHTTPServer",
+    "FlakyShard",
+    "maybe_dump_degraded",
+    "ok",
+    "stall",
+    "close_mid_response",
+    "storm_429",
+]
+
+
+def refused_port() -> int:
+    """A port on 127.0.0.1 that refuses connections.
+
+    Bound once to reserve it, then closed — nothing listens, so every
+    connect gets ``ECONNREFUSED`` immediately (no timeout involved):
+    the cheapest deterministic "host is gone".
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+    finally:
+        sock.close()
+
+
+# ----------------------------------------------------------------------
+# Behaviors: how FaultyHTTPServer answers one parsed request.
+# Each is a callable (conn, method, path) -> bool; the return says
+# whether the connection may be reused for another request.
+# ----------------------------------------------------------------------
+def _http_response(status: int, reason: str, body: dict,
+                   extra_headers: Optional[Dict[str, str]] = None) -> bytes:
+    payload = json.dumps(body).encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        *(f"{k}: {v}" for k, v in (extra_headers or {}).items()),
+        "",
+        "",
+    ]
+    return "\r\n".join(headers).encode("utf-8") + payload
+
+
+def ok(body: dict, status: int = 200):
+    """Answer a normal JSON response and keep the connection alive."""
+    response = _http_response(status, "OK", body)
+
+    def behave(conn, method, path) -> bool:
+        conn.sendall(response)
+        return True
+
+    return behave
+
+
+def stall(event_timeout: float = 60.0):
+    """Accept the request, then never answer — a wedged daemon.
+
+    The stall breaks when the server shuts down (or after
+    ``event_timeout`` as a backstop), so a finished test never leaks a
+    thread parked on a dead socket.
+    """
+
+    def behave(conn, method, path, _stop=None) -> bool:
+        # _stop is injected by the server loop; wait on it so close()
+        # releases stalled handlers immediately.
+        if _stop is not None:
+            _stop.wait(event_timeout)
+        return False
+
+    behave.wants_stop = True  # marker: server injects its stop event
+    return behave
+
+
+def close_mid_response(prefix: bytes = b"HTTP/1.1 200 OK\r\n"
+                                       b"Content-Length: 10000\r\n\r\n{"):
+    """Send a plausible response *prefix*, then slam the socket shut —
+    the daemon died while writing (promised 10000 bytes, sent a few)."""
+
+    def behave(conn, method, path) -> bool:
+        conn.sendall(prefix)
+        conn.shutdown(socket.SHUT_RDWR)
+        return False
+
+    return behave
+
+
+def storm_429(retry_after: float = 0.0, limit: Optional[int] = None,
+              then: Optional[Callable] = None):
+    """Answer ``429`` (with a ``Retry-After`` hint) ``limit`` times —
+    or forever — then fall through to ``then`` (default: keep 429ing).
+    A saturated daemon that never recovers within the client's retry
+    budget."""
+    state = {"count": 0}
+
+    def behave(conn, method, path) -> bool:
+        state["count"] += 1
+        if limit is not None and state["count"] > limit and then is not None:
+            return then(conn, method, path)
+        conn.sendall(_http_response(
+            429, "Too Many Requests",
+            {"error": "scripted saturation",
+             "retry_after_seconds": retry_after},
+            {"Retry-After": str(retry_after)},
+        ))
+        return True
+
+    return behave
+
+
+Behavior = Callable
+Script = Dict[Union[Tuple[str, str], str], Behavior]
+
+
+class FaultyHTTPServer:
+    """A scriptable HTTP/1.1 server speaking just enough protocol to
+    fault-inject the real ``OptimizationClient``.
+
+    ``script`` maps ``(method, path)`` (or a bare ``path``, any method)
+    to a behavior; unmatched requests 404. Example — ready but wedged::
+
+        server = FaultyHTTPServer({
+            ("GET", "/ready"): ok({"ready": True}),
+            ("POST", "/optimize"): stall(),
+        })
+
+    Use as a context manager; ``url`` is the base URL to point a client
+    at. ``requests`` records every (method, path) seen, so tests can
+    assert the client actually exercised the faulty endpoint.
+    """
+
+    def __init__(self, script: Script) -> None:
+        self.script = script
+        self.requests = []
+        self._stop = threading.Event()
+        self._conns = []
+        self._lock = threading.Lock()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self.url = f"http://127.0.0.1:{self.port}"
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="faulty-http-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- protocol plumbing ---------------------------------------------
+    @staticmethod
+    def _read_request(conn) -> Optional[Tuple[str, str]]:
+        """Read one request (headers + body); return (method, path)."""
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return None
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, _version = lines[0].split(" ", 2)
+        length = 0
+        for line in lines[1:]:
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":", 1)[1].strip())
+        while len(rest) < length:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return None
+            rest += chunk
+        return method, path.split("?", 1)[0]
+
+    def _behavior_for(self, method: str, path: str) -> Behavior:
+        for key in ((method, path), path):
+            if key in self.script:
+                return self.script[key]
+        return ok({"error": f"unscripted {method} {path}"}, status=404)
+
+    def _handle(self, conn) -> None:
+        try:
+            while not self._stop.is_set():
+                request = self._read_request(conn)
+                if request is None:
+                    return
+                method, path = request
+                self.requests.append((method, path))
+                behavior = self._behavior_for(method, path)
+                if getattr(behavior, "wants_stop", False):
+                    keep = behavior(conn, method, path, _stop=self._stop)
+                else:
+                    keep = behavior(conn, method, path)
+                if not keep:
+                    return
+        except OSError:
+            pass  # client went away or close() shut us down
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                self._conns.append(conn)
+            threading.Thread(
+                target=self._handle, args=(conn,),
+                name="faulty-http-conn", daemon=True,
+            ).start()
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "FaultyHTTPServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class FlakyShard:
+    """An in-process shard that fails its first ``failures`` dispatches.
+
+    Each failed dispatch raises ``exc_factory()`` (fresh exception per
+    call — exceptions hold tracebacks and must not be shared); after
+    the scripted failures it delegates to ``inner`` — the host
+    "recovered". ``stats_error`` makes ``stats()`` (and therefore the
+    probe fallback) fail while the shard is still down, so quarantine
+    probes see the same outage dispatch does.
+    """
+
+    def __init__(self, inner, failures: int, exc_factory: Callable,
+                 stats_error: bool = False) -> None:
+        self.inner = inner
+        self.failures_left = failures
+        self.exc_factory = exc_factory
+        self.stats_error = stats_error
+        self.dispatch_calls = 0
+
+    @property
+    def down(self) -> bool:
+        return self.failures_left > 0
+
+    def optimize_fleet(self, jobs):
+        self.dispatch_calls += 1
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise self.exc_factory()
+        return self.inner.optimize_fleet(jobs)
+
+    def stats(self):
+        if self.down and self.stats_error:
+            raise ConnectionError("scripted stats outage")
+        return self.inner.stats()
+
+
+def maybe_dump_degraded(report, name: str) -> Optional[str]:
+    """Dump a degraded report's JSON for CI artifact upload.
+
+    When ``$REPRO_DEGRADED_DUMP_DIR`` is set (the chaos CI job sets
+    it), the report's job names and full ``degraded`` section are
+    written there as ``<name>.json``; returns the path (or ``None``
+    when dumping is off or the report is not degraded).
+    """
+    dump_dir = os.environ.get("REPRO_DEGRADED_DUMP_DIR")
+    if not dump_dir or report.degraded is None:
+        return None
+    os.makedirs(dump_dir, exist_ok=True)
+    path = os.path.join(dump_dir, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "jobs": [j.name for j in report.jobs],
+                "cache_hits": report.cache_hits,
+                "cache_misses": report.cache_misses,
+                "degraded": report.degraded,
+            },
+            fh, indent=2, sort_keys=True,
+        )
+    return path

@@ -1,0 +1,210 @@
+"""Property tests for the consistent-hash ring.
+
+The ring's whole value is a handful of invariants, so they are tested
+as *properties* (hypothesis) rather than examples:
+
+* placement is a pure function of the current host set — deterministic
+  across processes and independent of insertion order;
+* membership churn is O(K/N): removing a host moves exactly the keys it
+  owned (survivors' keys never move), adding a host moves keys only
+  *onto* the new host, and the moved fraction is bounded near the fair
+  share 1/N;
+* structurally identical signatures are always co-located (affinity is
+  placement determinism applied twice).
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.service import HashRing, default_host_ids
+from repro.service.ring import DEFAULT_VNODES
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+#: host-id strategy: short printable ids, unique within one example
+hosts_strategy = st.lists(
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("L", "N"), max_codepoint=0x2FF),
+        min_size=1, max_size=12,
+    ),
+    min_size=2, max_size=8, unique=True,
+)
+
+
+def synthetic_keys(count: int) -> list:
+    """Deterministic digest-like keys (what real signatures look like)."""
+    return [hashlib.sha256(f"key-{i}".encode()).hexdigest()
+            for i in range(count)]
+
+
+class TestPlacementDeterminism:
+    @given(hosts=hosts_strategy, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_insertion_order_never_changes_placement(self, hosts, data):
+        keys = synthetic_keys(64)
+        ring = HashRing(hosts)
+        shuffled = data.draw(st.permutations(hosts))
+        assert HashRing(shuffled).placement(keys) == ring.placement(keys)
+
+    @given(hosts=hosts_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_departed_hosts_leave_no_trace(self, hosts):
+        """A ring that saw hosts come and go places exactly like a
+        fresh ring built from the final membership."""
+        keys = synthetic_keys(64)
+        churned = HashRing(hosts)
+        churned.add("transient-host")
+        churned.remove("transient-host")
+        churned.remove(hosts[0])
+        churned.add(hosts[0])
+        assert churned.placement(keys) == HashRing(hosts).placement(keys)
+
+    def test_placement_is_identical_across_processes(self):
+        """The cross-process contract behind warm restarts: a separate
+        interpreter computes byte-identical placement (no reliance on
+        Python's process-seeded hash())."""
+        keys = synthetic_keys(32)
+        local = HashRing(default_host_ids(5)).placement(keys)
+        script = textwrap.dedent("""
+            import hashlib, json, sys
+            from repro.service import HashRing, default_host_ids
+            keys = [hashlib.sha256(f"key-{i}".encode()).hexdigest()
+                    for i in range(32)]
+            print(json.dumps(HashRing(default_host_ids(5)).placement(keys),
+                             sort_keys=True))
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "random"  # prove hash() isn't involved
+        out = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        import json
+        assert json.loads(out) == local
+
+
+class TestMembershipChurn:
+    @given(hosts=hosts_strategy, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_remove_moves_only_the_departed_hosts_keys(self, hosts, data):
+        """The exact invariant under the K/N bound: survivors' keys
+        NEVER move on a leave; only the departed host's keys re-home."""
+        keys = synthetic_keys(128)
+        ring = HashRing(hosts)
+        before = ring.placement(keys)
+        departed = data.draw(st.sampled_from(hosts))
+        ring.remove(departed)
+        after = ring.placement(keys)
+        for key in keys:
+            if before[key] != departed:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != departed
+
+    @given(hosts=hosts_strategy, new_host=st.text(min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_join_moves_keys_only_onto_the_new_host(self, hosts, new_host):
+        keys = synthetic_keys(128)
+        if new_host in hosts:
+            return
+        ring = HashRing(hosts)
+        before = ring.placement(keys)
+        ring.add(new_host)
+        after = ring.placement(keys)
+        for key in keys:
+            if after[key] != before[key]:
+                assert after[key] == new_host
+
+    @pytest.mark.parametrize("num_hosts", [2, 3, 5, 8, 12])
+    def test_leave_movement_is_near_the_fair_share(self, num_hosts):
+        """Acceptance: a leave moves ~K/N of K keys, not O(K). With 64
+        vnodes per host the per-host share concentrates around 1/N; 3x
+        the fair share (plus an absolute floor for tiny N·K products)
+        is far below the modulo scheme's (N-1)/N reshuffle."""
+        keys = synthetic_keys(2000)
+        ring = HashRing(default_host_ids(num_hosts))
+        before = ring.placement(keys)
+        worst = 0
+        for host in ring.hosts:
+            survivor = ring.copy()
+            survivor.remove(host)
+            after = survivor.placement(keys)
+            moved = sum(1 for k in keys if after[k] != before[k])
+            # exactly the departed host's keys move
+            assert moved == sum(1 for k in keys if before[k] == host)
+            worst = max(worst, moved)
+        fair = len(keys) / num_hosts
+        assert worst <= 3.0 * fair + 16
+        # and nothing like the modulo scheme's near-total reshuffle
+        # (at N=2 the fair share IS half the keys, so only N>=3 can
+        # distinguish consistent hashing from rehash-the-world)
+        if num_hosts >= 3:
+            assert worst < len(keys) / 2
+
+    @given(hosts=hosts_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_every_host_owns_something_eventually(self, hosts):
+        """64 vnodes/host keep the ring from starving any member: over
+        enough keys every host owns a non-empty share."""
+        ring = HashRing(hosts)
+        distribution = ring.distribution(synthetic_keys(256 * len(hosts)))
+        assert set(distribution) == set(ring.hosts)
+        assert all(count > 0 for count in distribution.values())
+
+
+class TestAffinity:
+    @given(st.text(min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_identical_keys_always_colocate(self, key):
+        ring = HashRing(default_host_ids(4))
+        assert ring.host_for(key) == ring.host_for(key)
+        assert ring.host_for(key) in ring.hosts
+
+    def test_keys_and_vnodes_are_namespaced(self):
+        """A key that spells a vnode token must not collide with it."""
+        ring = HashRing(["h1", "h2"])
+        # would alias if keys and vnode tokens shared a hash namespace
+        assert ring.host_for("vnode:h1#0") in ("h1", "h2")
+
+
+class TestRingApi:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            HashRing([""])
+        with pytest.raises(ValueError, match="already"):
+            HashRing(["a", "a"])
+        with pytest.raises(KeyError, match="not on the ring"):
+            HashRing(["a"]).remove("b")
+        with pytest.raises(LookupError, match="no hosts"):
+            HashRing().host_for("k")
+        with pytest.raises(ValueError, match="num_hosts"):
+            default_host_ids(0)
+
+    def test_membership_introspection(self):
+        ring = HashRing(["b", "a"])
+        assert ring.hosts == ("a", "b")
+        assert len(ring) == 2 and "a" in ring and "c" not in ring
+        assert "vnodes" in repr(ring)
+
+    def test_copy_is_independent(self):
+        ring = HashRing(["a", "b"], vnodes=16)
+        clone = ring.copy()
+        clone.remove("a")
+        assert "a" in ring and "a" not in clone
+        assert clone.vnodes == 16
+
+    def test_default_vnodes(self):
+        assert HashRing(["a"]).vnodes == DEFAULT_VNODES

@@ -1,0 +1,742 @@
+"""Shard-fabric fault tolerance: failover, quarantine, drain, taxonomy.
+
+The acceptance bar (ISSUE): a 3-shard fleet with one host killed
+mid-batch still returns a complete, correctly-deduplicated merged
+report — flagged ``degraded`` with the failed host and the re-homed
+jobs — and a zero-fault fleet's report is byte-identical to the
+pre-failover format (no ``degraded`` key anywhere). Timing-dependent
+distributed failures are made deterministic by the scripted harness in
+:mod:`tests.faults`.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.spec import OptimizeSpec
+from repro.fleet.generator import FleetConfig, generate_pipeline_fleet
+from repro.service import (
+    BatchOptimizer,
+    ClientError,
+    ClientTimeout,
+    OptimizationClient,
+    OptimizationDaemon,
+    RemoteShard,
+    ShardDispatchError,
+    ShardSaturated,
+    ShardTimeout,
+    ShardUnreachable,
+    ShardedOptimizer,
+    shard_fleet,
+)
+from repro.service.client import fleet_to_body
+from tests.faults import (
+    FaultyHTTPServer,
+    FlakyShard,
+    close_mid_response,
+    maybe_dump_degraded,
+    ok,
+    refused_port,
+    stall,
+    storm_429,
+)
+from tests.test_service_remote import _DaemonProcess, _read_port
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+FAST_SPEC = OptimizeSpec(iterations=1, backend="analytic",
+                         trace_duration=1.0, trace_warmup=0.25)
+
+
+def make_fleet(num_jobs=12, distinct=4, seed=5):
+    return generate_pipeline_fleet(
+        num_jobs=num_jobs, distinct=distinct, seed=seed,
+        config=FleetConfig(domain_weights={"vision": 1.0},
+                           optimize_spec=FAST_SPEC),
+    )
+
+
+def make_optimizers(n):
+    return [BatchOptimizer(executor="serial", spec=FAST_SPEC)
+            for _ in range(n)]
+
+
+def occupied_indices(fleet, num_shards):
+    return [i for i, shard in enumerate(shard_fleet(fleet, num_shards))
+            if shard]
+
+
+# ----------------------------------------------------------------------
+# Satellite (a): every shard failure is reported, not just the first.
+# ----------------------------------------------------------------------
+class TestAllFailuresReported:
+    def test_every_failing_shard_appears_in_the_error(self):
+        """Regression: the old dispatch loop propagated the first
+        ``f.result()`` exception and dropped the others on the floor.
+        With three shards failing three different ways, the error must
+        carry all of them."""
+
+        class Boom:
+            def __init__(self, msg):
+                self.msg = msg
+
+            def optimize_fleet(self, jobs):
+                raise RuntimeError(self.msg)
+
+            def stats(self):
+                return {}
+
+        fleet = make_fleet()
+        occupied = occupied_indices(fleet, 3)
+        assert len(occupied) == 3  # fixture precondition: all shards used
+        sharded = ShardedOptimizer(
+            [Boom("alpha exploded"), Boom("beta exploded"),
+             Boom("gamma exploded")])
+        with pytest.raises(ShardDispatchError) as excinfo:
+            sharded.optimize_fleet(fleet)
+        err = excinfo.value
+        assert set(err.failures) == {"shard-0", "shard-1", "shard-2"}
+        for fragment in ("alpha exploded", "beta exploded",
+                         "gamma exploded"):
+            assert fragment in str(err)
+
+    def test_dispatch_error_is_a_runtime_error(self):
+        """Back-compat: callers catching RuntimeError keep working."""
+        assert issubclass(ShardDispatchError, RuntimeError)
+
+
+# ----------------------------------------------------------------------
+# Tentpole: retryable failures re-home through the ring.
+# ----------------------------------------------------------------------
+class TestFailover:
+    def test_retryable_failure_rehomes_jobs_and_flags_degraded(self):
+        fleet = make_fleet()
+        die_idx = occupied_indices(fleet, 3)[0]
+        die_host = f"shard-{die_idx}"
+        lost_jobs = [j.name for j in shard_fleet(fleet, 3)[die_idx]]
+        inner = make_optimizers(3)
+        shards = list(inner)
+        shards[die_idx] = FlakyShard(
+            inner[die_idx], failures=1,
+            exc_factory=lambda: ShardUnreachable(
+                die_host, "connection refused"),
+        )
+        sharded = ShardedOptimizer(shards)
+
+        merged = sharded.optimize_fleet(fleet)
+
+        # Complete and correct despite the mid-batch failure.
+        assert [j.name for j in merged.jobs] == [j.name for j in fleet]
+        reference = BatchOptimizer(
+            executor="serial", spec=FAST_SPEC).optimize_fleet(fleet)
+        assert [j.optimized_throughput for j in merged.jobs] == \
+               [j.optimized_throughput for j in reference.jobs]
+        assert merged.cache_misses == reference.cache_misses
+
+        # ... and honestly flagged degraded.
+        degraded = merged.degraded
+        assert degraded is not None
+        assert degraded["redispatch_rounds"] == 1
+        (failure,) = degraded["failed_shards"]
+        assert failure["host"] == die_host
+        assert failure["kind"] == "ShardUnreachable"
+        assert failure["retryable"] is True
+        assert sorted(failure["jobs"]) == sorted(lost_jobs)
+        assert sorted(degraded["rehomed_jobs"]) == sorted(lost_jobs)
+        for record in degraded["rehomed_jobs"].values():
+            assert record["from"] == die_host
+            assert record["to"] != die_host
+            assert record["attempts"] == 1
+            assert record["completed"] is True
+
+    def test_zero_fault_fleet_has_no_degraded_section(self):
+        merged = ShardedOptimizer(
+            make_optimizers(3)).optimize_fleet(make_fleet())
+        assert merged.degraded is None
+
+    def test_stalled_shard_is_abandoned_at_the_deadline(self):
+        """The bare blocking f.result() this PR replaces would hang the
+        whole batch forever on one wedged host."""
+        fleet = make_fleet()
+        stall_idx = occupied_indices(fleet, 3)[0]
+        release = threading.Event()
+
+        class StalledShard:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def optimize_fleet(self, jobs):
+                release.wait(20)  # wedged far past the deadline
+                return self.inner.optimize_fleet(jobs)
+
+            def stats(self):
+                return self.inner.stats()
+
+        inner = make_optimizers(3)
+        shards = list(inner)
+        shards[stall_idx] = StalledShard(inner[stall_idx])
+        sharded = ShardedOptimizer(shards, shard_timeout=0.4)
+        try:
+            start = time.perf_counter()
+            merged = sharded.optimize_fleet(fleet)
+            elapsed = time.perf_counter() - start
+        finally:
+            release.set()  # unwedge the abandoned dispatcher thread
+        assert elapsed < 10  # did not wait out the 20s stall
+        assert [j.name for j in merged.jobs] == [j.name for j in fleet]
+        (failure,) = merged.degraded["failed_shards"]
+        assert failure["kind"] == "ShardTimeout"
+        assert failure["host"] == f"shard-{stall_idx}"
+
+    def test_non_retryable_failure_surfaces_immediately(self):
+        """A deterministic failure (bad batch) must not bounce around
+        the ring — it would fail identically on every host."""
+        fleet = make_fleet()
+        bad_idx = occupied_indices(fleet, 3)[0]
+        inner = make_optimizers(3)
+        shards = list(inner)
+        shards[bad_idx] = FlakyShard(
+            inner[bad_idx], failures=10,
+            exc_factory=lambda: ValueError("malformed batch"),
+        )
+        sharded = ShardedOptimizer(shards)
+        with pytest.raises(ShardDispatchError, match="malformed batch"):
+            sharded.optimize_fleet(fleet)
+        # one attempt, no retries: non-retryable means give up at once
+        assert shards[bad_idx].dispatch_calls == 1
+
+    def test_every_host_failing_exhausts_the_ring(self):
+        fleet = make_fleet()
+        inner = make_optimizers(3)
+        shards = [
+            FlakyShard(opt, failures=10,
+                       exc_factory=lambda i=i: ShardUnreachable(
+                           f"shard-{i}", "gone"))
+            for i, opt in enumerate(inner)
+        ]
+        sharded = ShardedOptimizer(shards)
+        with pytest.raises(ShardDispatchError,
+                           match="no surviving hosts|re-dispatch budget"):
+            sharded.optimize_fleet(fleet)
+
+    def test_quarantine_then_readmission(self):
+        """A host that keeps failing is quarantined out of routing (so
+        later batches never even try it), then re-admitted the moment a
+        probe sees it healthy again."""
+        fleet = make_fleet()
+        sick_idx = occupied_indices(fleet, 3)[0]
+        sick_host = f"shard-{sick_idx}"
+        inner = make_optimizers(3)
+        shards = list(inner)
+        flaky = FlakyShard(
+            inner[sick_idx], failures=2, stats_error=True,
+            exc_factory=lambda: ShardUnreachable(sick_host, "down"),
+        )
+        shards[sick_idx] = flaky
+        sharded = ShardedOptimizer(shards, quarantine_after=1)
+
+        # Batch 1: the sick host fails once -> quarantined immediately.
+        first = sharded.optimize_fleet(fleet)
+        assert first.degraded is not None
+        assert sharded.quarantined == (sick_host,)
+        assert sick_host not in sharded.ring
+
+        # Batch 2: the host is still down (its probe fails), so routing
+        # avoids it entirely — no fault, no degraded section.
+        second = sharded.optimize_fleet(fleet)
+        assert second.degraded is None
+        assert sharded.quarantined == (sick_host,)
+
+        # The host heals; the next membership probe re-admits it.
+        flaky.failures_left = 0
+        health = sharded.probe()
+        assert health[sick_host] is True
+        assert sharded.quarantined == ()
+        assert sick_host in sharded.ring
+        third = sharded.optimize_fleet(fleet)
+        assert third.degraded is None
+        assert [j.name for j in third.jobs] == [j.name for j in fleet]
+
+    def test_all_hosts_quarantined_fails_fast(self):
+        fleet = make_fleet()
+        shards = [
+            FlakyShard(opt, failures=99, stats_error=True,
+                       exc_factory=lambda i=i: ShardUnreachable(
+                           f"shard-{i}", "gone"))
+            for i, opt in enumerate(make_optimizers(3))
+        ]
+        sharded = ShardedOptimizer(shards, quarantine_after=1)
+        with pytest.raises(ShardDispatchError):
+            sharded.optimize_fleet(fleet)
+        assert sharded.quarantined == ("shard-0", "shard-1", "shard-2")
+        with pytest.raises(ShardDispatchError, match="no healthy"):
+            sharded.optimize_fleet(fleet)
+
+
+# ----------------------------------------------------------------------
+# Satellite (b): stats() survives an unreachable shard.
+# ----------------------------------------------------------------------
+class TestStatsDegraded:
+    def test_stats_survive_unreachable_shard(self):
+        fleet = make_fleet()
+        inner = make_optimizers(3)
+        ShardedOptimizer(inner).optimize_fleet(fleet)  # warm the stores
+
+        shards = list(inner)
+        shards[1] = FlakyShard(
+            inner[1], failures=1, stats_error=True,
+            exc_factory=lambda: ShardUnreachable("shard-1", "down"),
+        )
+        stats = ShardedOptimizer(shards).stats()
+        by_host = {s["host"]: s for s in stats["shards"]}
+        assert "error" in by_host["shard-1"]
+        assert "ConnectionError" in by_host["shard-1"]["error"]
+        assert stats["unreachable_shards"] == ["shard-1"]
+        # Aggregates cover the reachable shards only.
+        reachable_hits = sum(
+            s["cache_hits"] for h, s in by_host.items() if h != "shard-1")
+        assert stats["cache_hits"] == reachable_hits
+        assert stats["store_entries"] == sum(
+            s["store_entries"] for h, s in by_host.items()
+            if h != "shard-1")
+
+
+# ----------------------------------------------------------------------
+# RemoteShard taxonomy under scripted transport faults.
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+class TestRemoteShardTaxonomy:
+    def test_connection_refused_is_unreachable(self):
+        shard = RemoteShard(f"http://127.0.0.1:{refused_port()}",
+                            probe_timeout=1.0)
+        with pytest.raises(ShardUnreachable):
+            shard.optimize_fleet([])
+
+    def test_mid_response_close_is_unreachable(self):
+        with FaultyHTTPServer(
+                {("GET", "/ready"): close_mid_response()}) as server:
+            shard = RemoteShard(server.url, probe_timeout=2.0)
+            with pytest.raises(ShardUnreachable):
+                shard.optimize_fleet([])
+            assert ("GET", "/ready") in server.requests
+
+    def test_indefinite_stall_is_a_timeout(self, small_catalog):
+        """Ready answers, then the submit stalls forever: the client's
+        deadline turns it into ShardTimeout (not a hang)."""
+        from tests.test_service import small_pipeline
+        with FaultyHTTPServer({
+            ("GET", "/ready"): ok({"ready": True}),
+            ("POST", "/optimize"): stall(),
+        }) as server:
+            client = OptimizationClient(server.url, timeout=0.5)
+            shard = RemoteShard(client)
+            start = time.perf_counter()
+            with pytest.raises(ShardTimeout):
+                shard.optimize_fleet(
+                    [("job", small_pipeline(small_catalog))])
+            assert time.perf_counter() - start < 10
+
+    def test_429_storm_past_retry_budget_is_saturated(self, small_catalog):
+        from tests.test_service import small_pipeline
+        with FaultyHTTPServer({
+            ("GET", "/ready"): ok({"ready": True}),
+            ("POST", "/optimize"): storm_429(retry_after=0.0),
+        }) as server:
+            client = OptimizationClient(server.url, max_retries=2,
+                                        sleep=lambda s: None)
+            shard = RemoteShard(client)
+            with pytest.raises(ShardSaturated):
+                shard.optimize_fleet(
+                    [("job", small_pipeline(small_catalog))])
+            storms = [r for r in server.requests
+                      if r == ("POST", "/optimize")]
+            assert len(storms) == 3  # initial + the 2-retry budget
+
+    def test_draining_daemon_is_unreachable(self):
+        """A draining host's 503 re-homes its jobs instead of failing
+        the batch — the other half of graceful drain."""
+        with FaultyHTTPServer({
+            ("GET", "/ready"): ok(
+                {"ready": False, "draining": True,
+                 "reason": "draining: finishing in-flight work"},
+                status=503),
+        }) as server:
+            shard = RemoteShard(server.url)
+            with pytest.raises(ShardUnreachable, match="draining"):
+                shard.optimize_fleet([])
+
+
+# ----------------------------------------------------------------------
+# Satellite (c): typed ClientTimeout + per-call probe timeouts.
+# ----------------------------------------------------------------------
+class TestClientTimeout:
+    def test_wait_raises_typed_timeout(self):
+        with FaultyHTTPServer({
+            ("GET", "/jobs/b1"): ok({"id": "b1", "status": "running",
+                                     "jobs": 1, "lanes": {}}),
+        }) as server:
+            ticks = iter(range(0, 1000, 10))  # each clock() call +10s
+            client = OptimizationClient(
+                server.url, sleep=lambda s: None,
+                clock=lambda: float(next(ticks)),
+            )
+            with pytest.raises(ClientTimeout, match="still 'running'"):
+                client.wait("b1", timeout=30.0)
+
+    def test_client_timeout_is_a_client_error(self):
+        """Back-compat: except ClientError still catches timeouts."""
+        assert issubclass(ClientTimeout, ClientError)
+
+    @pytest.mark.chaos
+    def test_check_ready_per_call_timeout_overrides_budget(self):
+        """A probe against a stalled daemon costs the probe timeout,
+        not the client's 30s request budget."""
+        with FaultyHTTPServer({("GET", "/ready"): stall()}) as server:
+            client = OptimizationClient(server.url, timeout=30.0)
+            start = time.perf_counter()
+            with pytest.raises(ClientTimeout):
+                client.check_ready(timeout=0.3)
+            assert time.perf_counter() - start < 5
+
+    def test_check_health_alias_and_override(self):
+        with FaultyHTTPServer({
+            ("GET", "/healthz"): ok({"status": "ok"}),
+        }) as server:
+            client = OptimizationClient(server.url)
+            assert client.check_health(timeout=1.0) == {"status": "ok"}
+            assert client.health() == {"status": "ok"}
+
+
+# ----------------------------------------------------------------------
+# Tentpole: daemon graceful drain + self-care GC.
+# ----------------------------------------------------------------------
+class SlowOptimizer(BatchOptimizer):
+    """A BatchOptimizer whose batches take a scripted minimum time —
+    long enough to observe the daemon draining around them."""
+
+    def __init__(self, delay, **kwargs):
+        super().__init__(**kwargs)
+        self.delay = delay
+
+    def optimize_fleet(self, jobs):
+        time.sleep(self.delay)
+        return super().optimize_fleet(jobs)
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_and_refuses_new_work(self):
+        fleet = make_fleet(num_jobs=4, distinct=2)
+        daemon = OptimizationDaemon(
+            SlowOptimizer(1.5, executor="serial", spec=FAST_SPEC),
+            drain_timeout_seconds=30.0,
+        ).start()
+        client = OptimizationClient(daemon.url)
+        accepted = client.submit(fleet)
+
+        closer = threading.Thread(target=daemon.close, daemon=True)
+        closer.start()
+        deadline = time.monotonic() + 5
+        while not daemon._draining and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert daemon._draining
+
+        # /ready flips to 503 with the draining hint...
+        with pytest.raises(ClientError) as excinfo:
+            client.check_ready()
+        assert excinfo.value.status == 503
+        assert "draining" in str(excinfo.value)
+        # ... new submissions are refused with a structured hint...
+        status, payload, _ = client._request(
+            "POST", "/optimize", fleet_to_body(fleet, spec=FAST_SPEC))
+        assert status == 503
+        assert payload["draining"] is True
+        assert "draining" in payload["error"]
+        # ... while status polling keeps answering for in-flight work.
+        assert client.status(accepted["id"])["status"] in (
+            "queued", "running")
+
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        # The in-flight batch completed during the drain window and its
+        # report survived the shutdown.
+        assert daemon.job_status(accepted["id"])["status"] == "done"
+        report = daemon.report_json(accepted["id"])
+        assert [j["name"] for j in report["jobs"]] == \
+               [j.name for j in fleet]
+        assert "degraded" not in report  # clean run: byte-faithful
+        # A *fresh* connection is refused — the listener is gone. (The
+        # old keep-alive socket may drain its last answers; that's the
+        # point of graceful shutdown.)
+        client.close()
+        with pytest.raises(ClientError):
+            client.health(timeout=1.0)
+
+    def test_drain_deadline_abandons_stuck_batches(self):
+        fleet = make_fleet(num_jobs=2, distinct=1)
+        daemon = OptimizationDaemon(
+            SlowOptimizer(10.0, executor="serial", spec=FAST_SPEC),
+            drain_timeout_seconds=0.3,
+        ).start()
+        client = OptimizationClient(daemon.url)
+        accepted = client.submit(fleet)
+        start = time.perf_counter()
+        daemon.close(wait=True)
+        assert time.perf_counter() - start < 5  # deadline, not 10s
+        assert daemon.job_status(accepted["id"])["status"] != "done"
+
+    def test_restart_after_drain_accepts_work_again(self):
+        fleet = make_fleet(num_jobs=2, distinct=1)
+        daemon = OptimizationDaemon(
+            BatchOptimizer(executor="serial", spec=FAST_SPEC))
+        with daemon:
+            OptimizationClient(daemon.url).optimize_fleet(fleet)
+        daemon.start()
+        try:
+            client = OptimizationClient(daemon.url)
+            assert client.check_ready()["ready"] is True
+            report = client.optimize_fleet(fleet)
+            assert report.cache_hit_rate == 1.0  # store survived
+        finally:
+            daemon.close()
+
+    def test_sigterm_handler_installs_only_in_main_thread(self):
+        daemon = OptimizationDaemon(
+            BatchOptimizer(executor="serial", spec=FAST_SPEC))
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            assert daemon.install_sigterm_handler() is True
+            assert signal.getsignal(signal.SIGTERM) is not previous
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        results = []
+        worker = threading.Thread(
+            target=lambda: results.append(daemon.install_sigterm_handler()))
+        worker.start()
+        worker.join()
+        assert results == [False]
+
+    @pytest.mark.chaos
+    def test_sigterm_drains_a_live_daemon_process(self, tmp_path):
+        """End to end: SIGTERM to a daemon subprocess exits 0 after a
+        graceful drain, not with a killed-process status."""
+        script = textwrap.dedent("""
+            import sys, time
+            from repro.core.spec import OptimizeSpec
+            from repro.service import (BatchOptimizer, DiskStore,
+                                       OptimizationDaemon)
+            spec = OptimizeSpec(iterations=1, backend="analytic",
+                                trace_duration=1.0, trace_warmup=0.25)
+            daemon = OptimizationDaemon(
+                BatchOptimizer(executor="serial", spec=spec,
+                               store=DiskStore(sys.argv[1])))
+            daemon.start()
+            assert daemon.install_sigterm_handler()
+            print(daemon.port, flush=True)
+            while True:
+                time.sleep(0.1)
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(tmp_path / "store")],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            port = _read_port(proc)
+            client = OptimizationClient(f"http://127.0.0.1:{port}")
+            assert client.check_ready()["ready"] is True
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            proc.stdout.close()
+            proc.stderr.close()
+
+
+class TestGcSweep:
+    def test_run_gc_sweep_compacts_by_provenance_age(self):
+        tick = [0.0]
+        optimizer = BatchOptimizer(executor="serial", spec=FAST_SPEC,
+                                   clock=lambda: tick[0])
+        daemon = OptimizationDaemon(
+            optimizer,
+            compact_interval_seconds=3600.0,  # thread never fires in-test
+            compact_max_age_seconds=1800.0,
+        )
+        optimizer.optimize_fleet(make_fleet(num_jobs=6, distinct=3))
+        assert len(optimizer.store) == 3
+        assert daemon.run_gc_sweep() == 0  # entries are brand new
+        tick[0] += 3600.0
+        assert daemon.run_gc_sweep() == 3  # all past the horizon now
+        assert len(optimizer.store) == 0
+        gc = daemon.stats()["gc"]
+        assert gc["sweeps"] == 2 and gc["removed"] == 3
+        assert gc["interval_seconds"] == 3600.0
+        assert gc["max_age_seconds"] == 1800.0
+
+    def test_periodic_sweep_thread_compacts_on_its_own(self):
+        optimizer = BatchOptimizer(executor="serial", spec=FAST_SPEC)
+        optimizer.optimize_fleet(make_fleet(num_jobs=4, distinct=2))
+        assert len(optimizer.store) == 2
+        daemon = OptimizationDaemon(
+            optimizer,
+            compact_interval_seconds=0.05,
+            compact_max_age_seconds=0.0,  # everything is old enough
+        ).start()
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if len(optimizer.store) == 0 and daemon.gc_sweeps >= 1:
+                    break
+                time.sleep(0.02)
+            assert len(optimizer.store) == 0
+            assert daemon.gc_sweeps >= 1
+        finally:
+            daemon.close()
+
+    def test_sweep_never_kills_the_daemon(self):
+        class BrokenStoreOptimizer:
+            def compact_store(self, max_age_seconds):
+                raise OSError("store directory vanished")
+
+        daemon = OptimizationDaemon.__new__(OptimizationDaemon)
+        daemon.optimizer = BrokenStoreOptimizer()
+        daemon._compact_max_age = 0.0
+        daemon._lock = threading.Lock()
+        daemon.gc_sweeps = 0
+        daemon.gc_removed = 0
+        assert daemon.run_gc_sweep() == 0
+        assert daemon.gc_sweeps == 1
+
+
+# ----------------------------------------------------------------------
+# The acceptance e2e: kill one of three daemon processes mid-batch.
+# ----------------------------------------------------------------------
+#: like test_service_remote's DAEMON_SCRIPT, plus a "die" mode whose
+#: optimizer hard-exits the process the moment a batch starts running —
+#: the daemon accepts work over HTTP, then the host dies mid-batch.
+FAILOVER_DAEMON_SCRIPT = textwrap.dedent("""
+    import os, sys
+    from repro.core.spec import OptimizeSpec
+    from repro.service import BatchOptimizer, DiskStore, OptimizationDaemon
+
+    spec = OptimizeSpec(iterations=1, backend="analytic",
+                        trace_duration=1.0, trace_warmup=0.25)
+
+    class DyingOptimizer(BatchOptimizer):
+        def optimize_fleet(self, jobs):
+            os._exit(17)  # the host dies mid-batch, work accepted
+
+    cls = DyingOptimizer if sys.argv[2] == "die" else BatchOptimizer
+    daemon = OptimizationDaemon(
+        cls(executor="serial", spec=spec, store=DiskStore(sys.argv[1])))
+    daemon.start()
+    print(daemon.port, flush=True)
+    sys.stdin.read()
+    daemon.close()
+""")
+
+
+class _FailoverDaemon(_DaemonProcess):
+    def __init__(self, store_dir, mode):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-c", FAILOVER_DAEMON_SCRIPT,
+             str(store_dir), mode],
+            env=env, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            self.url = f"http://127.0.0.1:{_read_port(self.proc)}"
+        except Exception:
+            self.close()
+            raise
+
+
+@pytest.mark.chaos
+class TestEndToEndFailover:
+    def test_host_killed_mid_batch_still_yields_a_complete_report(
+            self, tmp_path):
+        fleet = make_fleet()
+        die_idx = occupied_indices(fleet, 3)[0]
+        assert len(occupied_indices(fleet, 3)) == 3  # survivors exist
+        lost_jobs = sorted(
+            j.name for j in shard_fleet(fleet, 3)[die_idx])
+
+        daemons = [
+            _FailoverDaemon(tmp_path / f"host{i}",
+                            "die" if i == die_idx else "serve")
+            for i in range(3)
+        ]
+        try:
+            shards = [
+                RemoteShard(OptimizationClient(p.url, poll_interval=0.02),
+                            timeout=120.0)
+                for p in daemons
+            ]
+            sharded = ShardedOptimizer(shards, shard_timeout=120.0)
+            merged = sharded.optimize_fleet(fleet)
+
+            # Every job exactly once, correct, submission order kept.
+            local = BatchOptimizer(
+                executor="serial", spec=FAST_SPEC).optimize_fleet(fleet)
+            assert [j.name for j in merged.jobs] == \
+                   [j.name for j in local.jobs]
+            assert [j.speedup for j in merged.jobs] == \
+                   [j.speedup for j in local.jobs]
+            assert merged.cache_misses == local.cache_misses
+
+            # The degraded section names the dead host and every job it
+            # took down with it.
+            degraded = merged.degraded
+            assert degraded is not None
+            (failure,) = degraded["failed_shards"]
+            assert failure["host"] == f"shard-{die_idx}"
+            assert failure["kind"] == "ShardUnreachable"
+            assert sorted(failure["jobs"]) == lost_jobs
+            assert sorted(degraded["rehomed_jobs"]) == lost_jobs
+            maybe_dump_degraded(merged, "e2e_host_killed_mid_batch")
+
+            # The dead process really died our scripted death.
+            assert daemons[die_idx].proc.wait(timeout=30) == 17
+
+            # Fleet stats stay serviceable with the host gone.
+            stats = sharded.stats()
+            assert stats["unreachable_shards"] == [f"shard-{die_idx}"]
+        finally:
+            for proc in daemons:
+                proc.close()
+
+    def test_zero_fault_remote_fleet_is_byte_identical(self, tmp_path):
+        """Acceptance: with no faults injected, the merged report and
+        the daemon's report JSON carry no degraded key at all."""
+        fleet = make_fleet(num_jobs=6, distinct=2)
+        daemons = [_FailoverDaemon(tmp_path / f"host{i}", "serve")
+                   for i in range(2)]
+        try:
+            clients = [OptimizationClient(p.url, poll_interval=0.02)
+                       for p in daemons]
+            sharded = ShardedOptimizer(
+                [RemoteShard(c) for c in clients])
+            merged = sharded.optimize_fleet(fleet)
+            assert merged.degraded is None
+            # and on the wire: no "degraded" key in any report payload
+            for client in clients:
+                accepted = client.submit(fleet)
+                client.wait(accepted["id"])
+                assert "degraded" not in client.raw_report(accepted["id"])
+        finally:
+            for proc in daemons:
+                proc.close()
