@@ -26,6 +26,7 @@ from pathlib import Path
 
 import repro
 from repro.core.spec import OptimizeSpec
+from repro.obs import summarize_snapshot
 from repro.fleet.generator import FleetConfig, generate_pipeline_fleet
 from repro.service import (
     OptimizationClient,
@@ -139,6 +140,22 @@ def main():
         print(f"  (host shard-{die_idx} exited "
               f"{procs[die_idx].wait(timeout=30)}; its {len(doomed)} "
               "jobs re-homed to survivors)")
+
+        # The failover is also visible on the metrics surface, and the
+        # two must agree: counters pin the degraded-report story.
+        summary = summarize_snapshot(front_end.metrics.as_dict())
+        rehomed_total = summary["repro_shard_rehomed_jobs_total"]
+        failures = sum(
+            v for k, v in summary.items()
+            if k.startswith("repro_shard_failures_total{")
+            and f'host="shard-{die_idx}"' in k
+        )
+        print("== failover counters (front-end metrics):")
+        print(f"  repro_shard_rehomed_jobs_total = {rehomed_total:.0f}")
+        print(f"  repro_shard_failures_total[shard-{die_idx}] = "
+              f"{failures:.0f}")
+        assert rehomed_total == len(report.degraded["rehomed_jobs"])
+        assert failures >= 1
 
         print("== healthy pass: same fleet, survivors only")
         survivors = [u for i, u in enumerate(urls) if i != die_idx]

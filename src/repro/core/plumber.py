@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import functools
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -37,6 +38,7 @@ from repro.core.trace import PipelineTrace
 from repro.graph.datasets import Pipeline
 from repro.host.machine import Machine
 from repro.host.memory import MemoryBudget
+from repro.obs import global_registry
 from repro.runtime.backends import BackendSpec, resolve_backend
 from repro.runtime.executor import RunConfig
 
@@ -56,6 +58,10 @@ class OptimizationResult:
     #: every cache planned (one per branch on multi-source DAGs);
     #: ``cache`` is the closest-to-root entry, kept for compatibility
     caches: List[CacheDecision] = field(default_factory=list)
+    #: one entry per (iteration, registered pass), in execution order —
+    #: wallclock spent (plan + apply + re-trace), actions taken, and
+    #: predicted vs realized throughput gain; see ``Plumber.optimize``
+    pass_telemetry: List[dict] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -118,9 +124,12 @@ class Plumber:
         backend: BackendSpec = None,
         event_budget: Optional[int] = None,
         spec: Optional[OptimizeSpec] = None,
+        monotonic: Callable[[], float] = time.monotonic,
     ) -> None:
         base = spec if spec is not None else OptimizeSpec()
         self.machine = machine
+        #: clock used for pass-telemetry wallclock (injectable in tests)
+        self.monotonic = monotonic
         self.spec = base.with_overrides(
             trace_duration=trace_duration,
             trace_warmup=trace_warmup,
@@ -235,20 +244,65 @@ class Plumber:
         )
         baseline_throughput = model.observed_throughput
 
+        telemetry: List[dict] = []
+        clock = self.monotonic
         for iteration in range(effective.iterations):
             ctx.iteration = iteration
             for opt_pass in resolved:
+                pass_name = getattr(
+                    opt_pass, "name", type(opt_pass).__name__
+                )
+                before = ctx.model.observed_throughput
+                lp_before = ctx.lp
+                start = clock()
                 actions = opt_pass.plan(ctx)
-                if not actions:
-                    continue
-                for action in actions:
-                    current = action.apply(current)
-                    decisions.append(action.description)
-                # The rewrite changed the pipeline; re-trace so the next
-                # pass plans against up-to-date rates. (Tracing is
-                # deterministic, so skipping the re-trace when nothing
-                # changed is observably identical and much cheaper.)
-                ctx.model = self._model_for_spec(current, effective)
+                if actions:
+                    for action in actions:
+                        current = action.apply(current)
+                        decisions.append(action.description)
+                    # The rewrite changed the pipeline; re-trace so the
+                    # next pass plans against up-to-date rates. (Tracing
+                    # is deterministic, so skipping the re-trace when
+                    # nothing changed is observably identical and much
+                    # cheaper.) The re-trace wallclock is charged to the
+                    # acting pass: its plan forced the measurement.
+                    ctx.model = self._model_for_spec(current, effective)
+                seconds = clock() - start
+                after = ctx.model.observed_throughput
+                # A pass "predicted" only if its plan produced a fresh
+                # LP solution; carrying an older pass's prediction
+                # forward would misattribute the forecast.
+                predicted = (
+                    ctx.lp.predicted_throughput
+                    if ctx.lp is not None and ctx.lp is not lp_before
+                    else math.nan
+                )
+                telemetry.append({
+                    "pass": pass_name,
+                    "iteration": iteration,
+                    "seconds": seconds,
+                    "actions": len(actions),
+                    "throughput_before": before,
+                    "throughput_after": after,
+                    "realized_gain": (
+                        after / before - 1.0 if before > 0 else math.nan
+                    ),
+                    "predicted_throughput": predicted,
+                    "predicted_gain": (
+                        predicted / before - 1.0
+                        if before > 0 and not math.isnan(predicted)
+                        else math.nan
+                    ),
+                })
+                registry = global_registry()
+                registry.histogram(
+                    "repro_pass_seconds",
+                    "Optimizer pass wallclock (plan + apply + re-trace)",
+                ).labels(**{"pass": pass_name}).observe(seconds)
+                registry.counter(
+                    "repro_pass_actions_total",
+                    "Rewrite actions emitted, by optimizer pass",
+                ).labels(**{"pass": pass_name}).inc(len(actions))
 
         model = ctx.model
         predicted = ctx.lp.predicted_throughput if ctx.lp else math.nan
@@ -261,6 +315,7 @@ class Plumber:
             predicted_throughput=predicted,
             baseline_throughput=baseline_throughput,
             caches=list(ctx.caches),
+            pass_telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""Dependency-free observability core for the repro stack.
+
+``repro.obs`` gives every layer — simulation engine, optimizer pass
+driver, batch service, daemon, shard fabric — one vocabulary for
+runtime measurement: :class:`Counter`, :class:`Gauge`, and a
+streaming-quantile :class:`Histogram`, named and snapshotted by a
+:class:`MetricsRegistry`.
+
+Most components own a registry (the daemon, each ``BatchOptimizer``,
+each ``ShardedOptimizer``) so their numbers travel with their
+``stats()``. Code with no natural owner — trace backends, the
+simulation engine — writes to the process-global registry returned by
+:func:`global_registry`. Note the scope: "process-global" means exactly
+that. Thread-pool executors share it; process-pool workers each have
+their own (their metrics stay in the worker and are not merged back).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    render_text,
+    summarize_snapshot,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "merge_snapshots",
+    "render_text",
+    "reset_global_registry",
+    "summarize_snapshot",
+]
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry for code without a natural owner."""
+    return _GLOBAL_REGISTRY
+
+
+def reset_global_registry() -> MetricsRegistry:
+    """Swap in a fresh global registry and return it (test isolation)."""
+    global _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = MetricsRegistry()
+    return _GLOBAL_REGISTRY

@@ -28,6 +28,7 @@ bounded per-instance log for fleet-level reporting.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
@@ -36,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.graph.datasets import Pipeline
 from repro.host.machine import Machine
+from repro.obs import global_registry
 from repro.runtime.analytic import analytic_trace_with_diagnostics
 from repro.runtime.executor import RunConfig, run_pipeline
 
@@ -83,6 +85,18 @@ class AdaptiveBackend:
 
     # ------------------------------------------------------------------
     def trace(
+        self, pipeline: Pipeline, machine: Machine, config: RunConfig
+    ) -> "PipelineTrace":
+        # Imported lazily: backends.py imports this module at load time.
+        from repro.runtime.backends import record_trace_wallclock
+
+        start = time.monotonic()
+        try:
+            return self._trace(pipeline, machine, config)
+        finally:
+            record_trace_wallclock(self.name, time.monotonic() - start)
+
+    def _trace(
         self, pipeline: Pipeline, machine: Machine, config: RunConfig
     ) -> "PipelineTrace":
         ana, diag = analytic_trace_with_diagnostics(pipeline, machine, config)
@@ -151,6 +165,10 @@ class AdaptiveBackend:
         self.decisions.append(decision)
         if len(self.decisions) > _DECISION_LOG_LIMIT:
             del self.decisions[:-_DECISION_LOG_LIMIT]
+        global_registry().counter(
+            "repro_adaptive_decisions_total",
+            "Adaptive backend routing decisions, by chosen path and reason",
+        ).labels(chosen=decision.chosen, reason=decision.reason).inc()
 
     def clear_decisions(self) -> None:
         """Drop the recorded decision log (e.g. between fleet runs)."""

@@ -33,11 +33,32 @@ from typing import TYPE_CHECKING, Dict, Protocol, Union, runtime_checkable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.trace import PipelineTrace
 
+import time
+
 from repro.graph.datasets import Pipeline
 from repro.host.machine import Machine
+from repro.obs import global_registry
 from repro.runtime.adaptive import AdaptiveBackend
 from repro.runtime.analytic import analytic_trace
 from repro.runtime.executor import RunConfig, run_pipeline
+
+
+def record_trace_wallclock(backend_name: str, seconds: float) -> None:
+    """Account one trace acquisition in the process-global registry.
+
+    Every backend (including custom registered ones that opt in) funnels
+    through here so ``repro_trace_seconds{backend=...}`` is comparable
+    across acquisition methods — the simulate-vs-analytic wallclock gap
+    the ROADMAP tracks becomes a quantile read instead of a benchmark
+    run.
+    """
+    registry = global_registry()
+    registry.counter(
+        "repro_trace_total", "Traces acquired, by backend",
+    ).labels(backend=backend_name).inc()
+    registry.histogram(
+        "repro_trace_seconds", "Trace acquisition wallclock, by backend",
+    ).labels(backend=backend_name).observe(seconds)
 
 
 @runtime_checkable
@@ -63,7 +84,9 @@ class SimulateBackend:
     ) -> PipelineTrace:
         from repro.core.trace import PipelineTrace
 
+        start = time.monotonic()
         result = run_pipeline(pipeline, machine, config)
+        record_trace_wallclock(self.name, time.monotonic() - start)
         return PipelineTrace.from_run(result)
 
 
@@ -75,7 +98,10 @@ class AnalyticBackend:
     def trace(
         self, pipeline: Pipeline, machine: Machine, config: RunConfig
     ) -> PipelineTrace:
-        return analytic_trace(pipeline, machine, config)
+        start = time.monotonic()
+        trace = analytic_trace(pipeline, machine, config)
+        record_trace_wallclock(self.name, time.monotonic() - start)
+        return trace
 
 
 _BACKENDS: Dict[str, TraceBackend] = {

@@ -131,6 +131,10 @@ class Simulation:
         self.cores: Optional["CoreScheduler"] = None
         #: set by the executor; handles Read requests
         self.disk: Optional[Any] = None
+        #: telemetry, updated once per ``run()``: total callbacks fired
+        #: and the deepest the same-timestamp ready deque ever got
+        self.events_processed = 0
+        self.peak_ready_depth = 0
 
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
@@ -184,26 +188,40 @@ class Simulation:
         heap = self._heap
         ready = self._ready
         pop = heapq.heappop
-        while heap or ready:
-            # Timed events due exactly now (scheduled before the clock
-            # reached this instant) precede any same-timestamp resume.
-            while heap and heap[0][0] <= self.now:
+        # Telemetry stays in locals inside the hot loop (one add / one
+        # compare per event) and is flushed to the instance on exit.
+        events = 0
+        peak_ready = self.peak_ready_depth
+        try:
+            while heap or ready:
+                # Timed events due exactly now (scheduled before the clock
+                # reached this instant) precede any same-timestamp resume.
+                while heap and heap[0][0] <= self.now:
+                    entry = pop(heap)
+                    events += 1
+                    entry[2](*entry[3])
+                if ready:
+                    depth = len(ready)
+                    if depth > peak_ready:
+                        peak_ready = depth
+                    callback, args = ready.popleft()
+                    events += 1
+                    callback(*args)
+                    continue
+                if not heap:
+                    break
+                time = heap[0][0]
+                if time > until:
+                    self.now = until
+                    return self.now
+                self.now = time
                 entry = pop(heap)
+                events += 1
                 entry[2](*entry[3])
-            if ready:
-                callback, args = ready.popleft()
-                callback(*args)
-                continue
-            if not heap:
-                break
-            time = heap[0][0]
-            if time > until:
-                self.now = until
-                return self.now
-            self.now = time
-            entry = pop(heap)
-            entry[2](*entry[3])
-        return self.now
+            return self.now
+        finally:
+            self.events_processed += events
+            self.peak_ready_depth = peak_ready
 
     # ------------------------------------------------------------------
     def _dispatch(self, proc: Process, request: Any) -> None:

@@ -23,6 +23,7 @@ from repro.graph.datasets import (
 )
 from repro.graph.validate import validate_pipeline
 from repro.host.machine import Machine
+from repro.obs import global_registry
 from repro.runtime.engine import (
     EOS,
     CoreScheduler,
@@ -105,6 +106,8 @@ class RunResult:
     disk_bytes: float
     cache_bytes: Dict[str, float]
     completed: bool                         # stream drained before time limit
+    events_processed: int = 0               # engine callbacks fired
+    peak_ready_depth: int = 0               # deepest same-timestamp deque
 
     @property
     def examples_per_second(self) -> float:
@@ -392,6 +395,16 @@ def run_pipeline(
     elements = consumer.elements - warm["consumer"][0]
     wait = consumer.wait_seconds - warm["consumer"][1]
 
+    registry = global_registry()
+    registry.counter(
+        "repro_sim_events_total",
+        "Simulation engine callbacks fired across all runs",
+    ).inc(sim.events_processed)
+    registry.histogram(
+        "repro_sim_ready_depth",
+        "Peak same-timestamp ready-deque depth per simulated run",
+    ).observe(sim.peak_ready_depth)
+
     return RunResult(
         pipeline=pipeline,
         machine=machine,
@@ -406,4 +419,6 @@ def run_pipeline(
         disk_bytes=sim.disk.total_bytes - warm["disk_bytes"],
         cache_bytes=dict(ctx.cache_bytes),
         completed=completed,
+        events_processed=sim.events_processed,
+        peak_ready_depth=sim.peak_ready_depth,
     )

@@ -56,6 +56,7 @@ from repro.graph.datasets import Pipeline
 from repro.graph.serialize import pipeline_from_json, pipeline_to_json
 from repro.graph.signature import structural_signature
 from repro.host.machine import Machine
+from repro.obs import MetricsRegistry
 from repro.runtime.backends import resolve_backend
 from repro.service.store import InMemoryStore, ResultStore
 from repro.util import canonical_hash
@@ -377,6 +378,10 @@ class BatchOptimizer:
         self.total_cache_hits = 0
         self.total_cache_misses = 0
         self._stats_lock = threading.Lock()
+        #: instance-owned metrics (job latency, hit/miss, pool depth);
+        #: snapshots travel in ``stats()["metrics"]`` so a remote shard's
+        #: numbers merge into fleet-wide aggregates
+        self.metrics = MetricsRegistry()
 
     # -- legacy attribute mirrors --------------------------------------
     @property
@@ -513,6 +518,7 @@ class BatchOptimizer:
         hits. Distinct keys run concurrently on the worker pool; per-job
         results are identical to serial ``Plumber.optimize``.
         """
+        fleet_started = self.metrics.clock()
         work = self._normalize(jobs)
         keyed: List[Tuple[OptimizationJob, str, str, OptimizeSpec]] = []
         # Fleet jobs stamped from one template share the Pipeline object;
@@ -546,22 +552,49 @@ class BatchOptimizer:
             }
 
         if pending:
+            clock = self.metrics.clock
+            depth = self.metrics.gauge(
+                "repro_service_pool_pending",
+                "Distinct optimizations awaiting a pool worker",
+            )
+            job_seconds = self.metrics.histogram(
+                "repro_service_job_seconds",
+                "Per-distinct-optimization wallclock (submit to result), "
+                "by backend",
+            )
+
+            def _backend_label(payload: dict) -> str:
+                backend = payload["spec"].get("backend")
+                return backend if isinstance(backend, str) else "custom"
+
+            depth.set(len(pending))
             pool = self._make_pool()
             if pool is None:
-                computed = {
-                    key: _optimize_serialized(payload)
-                    for key, payload in pending.items()
-                }
+                computed = {}
+                for key, payload in pending.items():
+                    start = clock()
+                    computed[key] = _optimize_serialized(payload)
+                    job_seconds.labels(
+                        backend=_backend_label(payload)
+                    ).observe(clock() - start)
+                    depth.dec()
             else:
                 with pool:
+                    started = clock()
                     futures = {
                         key: pool.submit(_optimize_serialized, payload)
                         for key, payload in pending.items()
                     }
-                    computed = {
-                        key: future.result()
-                        for key, future in futures.items()
-                    }
+                    computed = {}
+                    for key, future in futures.items():
+                        computed[key] = future.result()
+                        # Pool jobs overlap, so per-key elapsed time is
+                        # submit-to-result (queueing included) — the
+                        # latency a caller actually experiences.
+                        job_seconds.labels(
+                            backend=_backend_label(pending[key])
+                        ).observe(clock() - started)
+                        depth.dec()
             for key, result in computed.items():
                 entry = {
                     "result": result,
@@ -603,12 +636,29 @@ class BatchOptimizer:
         with self._stats_lock:
             self.total_cache_hits += hits
             self.total_cache_misses += misses
+        jobs_total = self.metrics.counter(
+            "repro_service_jobs_total",
+            "Fleet jobs served, by cache outcome",
+        )
+        if hits:
+            jobs_total.labels(result="hit").inc(hits)
+        if misses:
+            jobs_total.labels(result="miss").inc(misses)
+        self.metrics.histogram(
+            "repro_service_fleet_seconds",
+            "optimize_fleet wallclock per call",
+        ).observe(self.metrics.clock() - fleet_started)
         return FleetOptimizationReport(
             jobs=results, cache_hits=hits, cache_misses=misses
         )
 
     def stats(self) -> dict:
-        """Cumulative cache accounting across this instance's lifetime."""
+        """Cumulative cache accounting across this instance's lifetime.
+
+        ``metrics`` is the full instrument snapshot (bucket state
+        included), so per-shard ``stats()`` responses can be merged into
+        one fleet-wide latency distribution downstream.
+        """
         with self._stats_lock:
             hits, misses = self.total_cache_hits, self.total_cache_misses
         total = hits + misses
@@ -617,6 +667,7 @@ class BatchOptimizer:
             "cache_misses": misses,
             "cache_hit_rate": hits / total if total else 0.0,
             "store_entries": len(self.store),
+            "metrics": self.metrics.as_dict(),
         }
 
     def compact_store(self, max_age_seconds: float,

@@ -42,6 +42,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 from urllib.parse import urlsplit
 
 from repro.core.spec import OptimizeSpec
+from repro.obs import MetricsRegistry
 from repro.graph.serialize import (
     pipeline_from_dict,
     pipeline_to_dict,
@@ -237,6 +238,10 @@ class OptimizationClient:
         self.max_retry_after = max_retry_after
         self._sleep = sleep
         self._clock = clock
+        #: Client-side request telemetry (latency per route, request
+        #: and retry counters); shares the injected clock so tests can
+        #: fake both backoff and latency measurement.
+        self.metrics = MetricsRegistry(clock=clock)
         split = urlsplit(self.base_url)
         if split.scheme not in ("http", ""):
             raise ValueError(
@@ -291,6 +296,17 @@ class OptimizationClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    #: Route labels are bounded to the daemon's fixed endpoint set so
+    #: client metric cardinality cannot grow with batch ids.
+    _KNOWN_ROUTES = frozenset((
+        "optimize", "compact", "healthz", "ready", "stats",
+        "jobs", "report", "metrics",
+    ))
+
+    def _metric_route(self, path: str) -> str:
+        segment = path.lstrip("/").split("/", 1)[0]
+        return segment if segment in self._KNOWN_ROUTES else "other"
+
     def _request(
         self, method: str, path: str, body: Optional[dict] = None,
         timeout: Optional[float] = None,
@@ -309,6 +325,29 @@ class OptimizationClient:
         one call: health/readiness probes can fail in milliseconds
         while real requests keep the 30 s budget.
         """
+        route = self._metric_route(path)
+        started = self._clock()
+        outcome = "error"
+        try:
+            status, payload, headers = self._request_once(
+                method, path, body, timeout)
+            outcome = str(status)
+            return status, payload, headers
+        finally:
+            self.metrics.histogram(
+                "repro_client_request_seconds",
+                "Client-observed request latency, by route",
+            ).labels(route=route).observe(self._clock() - started)
+            self.metrics.counter(
+                "repro_client_requests_total",
+                "Client requests, by method/route/status "
+                "('error' = transport failure)",
+            ).labels(method=method, route=route, status=outcome).inc()
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, dict, Dict[str, str]]:
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
         headers = {"Content-Type": "application/json"}
@@ -387,6 +426,10 @@ class OptimizationClient:
                 return payload
             if status == 429 and retries < self.max_retries:
                 retries += 1
+                self.metrics.counter(
+                    "repro_client_submit_retries_total",
+                    "429 saturation answers absorbed by submit()",
+                ).inc()
                 self._sleep(self._retry_after(payload, headers))
                 continue
             raise self._error(status, payload, "submit rejected")

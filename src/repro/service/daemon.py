@@ -75,6 +75,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.spec import OptimizeSpec
 from repro.graph.serialize import pipeline_from_dict
 from repro.host.machine import Machine
+from repro.obs import (
+    MetricsRegistry,
+    global_registry,
+    merge_snapshots,
+    render_text,
+    summarize_snapshot,
+)
 from repro.service.batch import (
     BatchOptimizer,
     FleetOptimizationReport,
@@ -115,6 +122,37 @@ class AdmissionController:
         }
         self._in_flight = {SIMULATE_LANE: 0, ANALYTIC_LANE: 0}
         self._lock = threading.Lock()
+        self._occupancy_gauge: Optional[object] = None
+        self._rejections_counter: Optional[object] = None
+
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
+        """Mirror lane occupancy and rejections into ``registry``.
+
+        The gauges track ``_in_flight`` exactly (updated inside the
+        admission lock's critical sections), so a ``/metrics`` scrape
+        and ``/stats``'s ``in_flight_jobs`` can never disagree.
+        """
+        self._occupancy_gauge = registry.gauge(
+            "repro_daemon_lane_in_flight",
+            "Jobs currently admitted, by admission lane",
+        )
+        self._rejections_counter = registry.counter(
+            "repro_daemon_admission_rejections_total",
+            "Batches refused admission, by the lane that was full",
+        )
+        with self._lock:
+            for lane, count in self._in_flight.items():
+                self._occupancy_gauge.labels(lane=lane).set(count)
+
+    def _sync_gauges_locked(self) -> None:
+        if self._occupancy_gauge is not None:
+            for lane, count in self._in_flight.items():
+                self._occupancy_gauge.labels(lane=lane).set(count)
+
+    def note_rejection(self, lane: str) -> None:
+        """Count one refused batch against ``lane`` (no state change)."""
+        if self._rejections_counter is not None:
+            self._rejections_counter.labels(lane=lane).inc()
 
     def oversized_lane(self, lanes: Dict[str, int]) -> Optional[str]:
         """The first lane whose count alone exceeds its bound, if any.
@@ -150,15 +188,18 @@ class AdmissionController:
                     if lane == SIMULATE_LANE:
                         hint += (", or resubmit with an analytic-backend "
                                  "spec")
+                    self.note_rejection(lane)
                     return False, hint
             for lane, count in lanes.items():
                 self._in_flight[lane] += count
+            self._sync_gauges_locked()
             return True, ""
 
     def release(self, lanes: Dict[str, int]) -> None:
         with self._lock:
             for lane, count in lanes.items():
                 self._in_flight[lane] = max(0, self._in_flight[lane] - count)
+            self._sync_gauges_locked()
 
     def in_flight(self) -> Dict[str, int]:
         with self._lock:
@@ -288,12 +329,23 @@ class OptimizationDaemon:
         self.rejected = 0
         self.gc_sweeps = 0
         self.gc_removed = 0
+        #: daemon-owned instruments (request latency, lane occupancy,
+        #: batch outcomes, GC/drain state); merged with the optimizer's
+        #: and the process-global registries for ``GET /metrics``
+        self.metrics = MetricsRegistry(clock=monotonic)
+        self.admission.bind_metrics(self.metrics)
+        self._draining_gauge = self.metrics.gauge(
+            "repro_daemon_draining",
+            "1 while the daemon is draining (refusing new work)",
+        )
+        self._draining_gauge.set(0)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "OptimizationDaemon":
         """Bind and serve in a background thread (idempotent; a closed
         daemon can be started again)."""
         self._draining = False
+        self._draining_gauge.set(0)
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self._workers, thread_name_prefix="repro-daemon"
@@ -365,6 +417,12 @@ class OptimizationDaemon:
         with self._lock:
             self.gc_sweeps += 1
             self.gc_removed += removed
+        self.metrics.counter(
+            "repro_daemon_gc_sweeps_total", "Store GC sweeps run",
+        ).inc()
+        self.metrics.counter(
+            "repro_daemon_gc_removed_total", "Store entries evicted by GC",
+        ).inc(removed)
         return removed
 
     # -- graceful drain ------------------------------------------------
@@ -387,6 +445,7 @@ class OptimizationDaemon:
         drain wait entirely (the old hard-stop behaviour).
         """
         self._draining = True
+        self._draining_gauge.set(1)
         if wait and self._pool is not None:
             budget = (drain_timeout if drain_timeout is not None
                       else self._drain_timeout)
@@ -452,6 +511,7 @@ class OptimizationDaemon:
         if too_big is not None:
             with self._lock:
                 self.rejected += 1
+            self.admission.note_rejection(too_big)
             raise _RequestError(
                 400,
                 f"batch needs {lanes[too_big]} {too_big}-lane jobs but "
@@ -557,6 +617,7 @@ class OptimizationDaemon:
 
     def _run_batch(self, batch: _Batch) -> None:
         batch.status = "running"
+        started = self.metrics.clock()
         try:
             batch.report = self.optimizer.optimize_fleet(batch.jobs)
             batch.status = "done"
@@ -565,6 +626,13 @@ class OptimizationDaemon:
             batch.status = "failed"
         finally:
             batch.finished_at = self.optimizer._clock()
+            self.metrics.counter(
+                "repro_daemon_batches_total", "Batches run, by outcome",
+            ).labels(status=batch.status).inc()
+            self.metrics.histogram(
+                "repro_daemon_batch_seconds",
+                "Batch wallclock from dispatch to finish",
+            ).observe(self.metrics.clock() - started)
             self.admission.release(batch.lanes)
             self._evict_finished()
             with self._batch_done:
@@ -719,6 +787,26 @@ class OptimizationDaemon:
             }
         return True, {"ready": True, "store_entries": entries}
 
+    def metrics_snapshot(self) -> dict:
+        """Everything this process measures, as one merged snapshot.
+
+        Three registries feed ``GET /metrics``: the daemon's own
+        (requests, lanes, batches, GC, drain), the optimizer's (job
+        latency, hit/miss, pool depth), and the process-global one
+        (trace backends, pass driver, simulation engine). Metric names
+        are namespaced per layer, so the merge is collision-free.
+        """
+        snaps = [self.metrics.as_dict()]
+        optimizer_metrics = getattr(self.optimizer, "metrics", None)
+        if optimizer_metrics is not None:
+            snaps.append(optimizer_metrics.as_dict())
+        snaps.append(global_registry().as_dict())
+        return merge_snapshots(snaps)
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` text exposition of :meth:`metrics_snapshot`."""
+        return render_text(self.metrics_snapshot())
+
     def stats(self) -> dict:
         with self._lock:
             batches = list(self._batches.values())
@@ -742,6 +830,10 @@ class OptimizationDaemon:
                 "sweeps": gc_sweeps,
                 "removed": gc_removed,
             },
+            # Compact flat view of the daemon's own instruments, so
+            # pre-/metrics clients see the new numbers on the endpoint
+            # they already poll (the full bucketed form is /metrics).
+            "metrics": summarize_snapshot(self.metrics.as_dict()),
         }
 
 
@@ -761,12 +853,22 @@ class _DaemonHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict,
                    headers: Optional[Dict[str, str]] = None) -> None:
+        self._sent_status = status
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         for k, v in (headers or {}).items():
             self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._sent_status = status
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -794,8 +896,46 @@ class _DaemonHandler(BaseHTTPRequestHandler):
         except ValueError:
             raise _RequestError(400, "body is not valid JSON")
 
+    #: endpoints whose first path segment is a safe (bounded) route label
+    _KNOWN_ROUTES = frozenset(
+        ("optimize", "compact", "healthz", "ready", "stats", "jobs",
+         "report", "metrics")
+    )
+
+    def _metric_route(self) -> str:
+        """Bounded-cardinality route label: ``/jobs/<id>`` collapses to
+        ``jobs``, anything unrecognized to ``other`` — client-supplied
+        paths must not mint unbounded metric label sets."""
+        parts = [p for p in self._route_path().split("/") if p]
+        if parts and parts[0] in self._KNOWN_ROUTES:
+            return parts[0]
+        return "other"
+
+    def _timed(self, method: str, handler: Callable[[], None]) -> None:
+        """Run one request handler, recording latency and outcome."""
+        metrics = self.daemon.metrics
+        route = self._metric_route()
+        self._sent_status = 0  # overwritten by the first send
+        start = metrics.clock()
+        try:
+            handler()
+        finally:
+            metrics.histogram(
+                "repro_daemon_request_seconds",
+                "HTTP request service time, by route",
+            ).labels(route=route).observe(metrics.clock() - start)
+            metrics.counter(
+                "repro_daemon_requests_total",
+                "HTTP requests served, by route, method, and status",
+            ).labels(
+                route=route, method=method, status=str(self._sent_status),
+            ).inc()
+
     # -- verbs ----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server convention
+        self._timed("POST", self._handle_post)
+
+    def _handle_post(self) -> None:
         try:
             path = self._route_path().rstrip("/")
             if path == "/optimize":
@@ -813,6 +953,9 @@ class _DaemonHandler(BaseHTTPRequestHandler):
             self._send_internal_error(exc)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server convention
+        self._timed("GET", self._handle_get)
+
+    def _handle_get(self) -> None:
         try:
             parts = [p for p in self._route_path().split("/") if p]
             if parts == ["healthz"]:
@@ -822,6 +965,15 @@ class _DaemonHandler(BaseHTTPRequestHandler):
                 self._send_json(200 if ready else 503, payload)
             elif parts == ["stats"]:
                 self._send_json(200, self.daemon.stats())
+            elif parts == ["metrics"]:
+                # Like status/report, /metrics keeps serving while the
+                # daemon drains — observability lasts to the final
+                # request. Text exposition by default; ?format=json
+                # returns the mergeable snapshot form.
+                if self._query_param("format") == "json":
+                    self._send_json(200, self.daemon.metrics_snapshot())
+                else:
+                    self._send_text(200, self.daemon.metrics_text())
             elif len(parts) == 2 and parts[0] == "jobs":
                 self._send_json(200, self.daemon.job_status(parts[1]))
             elif len(parts) == 2 and parts[0] == "report":
@@ -832,6 +984,17 @@ class _DaemonHandler(BaseHTTPRequestHandler):
             self._send_error_json(exc)
         except Exception as exc:  # noqa: BLE001 - answer, don't drop
             self._send_internal_error(exc)
+
+    def _query_param(self, key: str) -> Optional[str]:
+        """One query-string value (the first, if repeated)."""
+        if "?" not in self.path:
+            return None
+        query = self.path.split("?", 1)[1]
+        for pair in query.split("&"):
+            name, _, value = pair.partition("=")
+            if name == key:
+                return value
+        return None
 
     def _send_internal_error(self, exc: Exception) -> None:
         """A bug in a handler (or the daemon behind it) must answer

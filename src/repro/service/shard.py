@@ -44,10 +44,11 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.fleet.analysis import merge_degraded_sections
 from repro.graph.signature import structural_signature
+from repro.obs import MetricsRegistry, merge_snapshots
 from repro.service.batch import FleetOptimizationReport
 from repro.service.errors import (
     ShardDispatchError,
@@ -199,6 +200,14 @@ class ShardedOptimizer:
         Per-probe timeout passed to shards exposing
         ``check_ready(timeout=...)`` — much shorter than a request
         timeout, so a dead host costs milliseconds, not 30 s.
+    monotonic:
+        Injectable monotonic clock for the dispatch-deadline arithmetic
+        (and this instance's metric timers), matching the ``clock=`` /
+        ``monotonic=`` convention of the client and daemon. Note the
+        deadline *wait* itself (``future.result(timeout=...)``) still
+        runs on real time — a fake clock jumped past the deadline makes
+        the remaining budget 0 and times the shard out immediately,
+        which is exactly what deadline tests need.
     """
 
     def __init__(
@@ -211,6 +220,7 @@ class ShardedOptimizer:
         max_redispatch: int = 2,
         quarantine_after: int = 3,
         probe_timeout: float = 2.0,
+        monotonic: Callable[[], float] = time.monotonic,
     ) -> None:
         if not optimizers:
             raise ValueError("need at least one shard optimizer")
@@ -248,6 +258,11 @@ class ShardedOptimizer:
         self._failures: Dict[str, int] = {h: 0 for h in hosts}
         self._quarantined: set = set()
         self._membership_lock = threading.Lock()
+        self._monotonic = monotonic
+        #: front-end-owned instruments (dispatch latency, failover
+        #: counters); ``stats()`` merges these with every reachable
+        #: shard's own snapshot
+        self.metrics = MetricsRegistry(clock=monotonic)
 
     @property
     def num_shards(self) -> int:
@@ -281,14 +296,22 @@ class ShardedOptimizer:
             return False
 
     def _note_success(self, host: str) -> None:
+        readmitted = False
         with self._membership_lock:
             self._failures[host] = 0
             if host in self._quarantined:
                 self._quarantined.discard(host)
                 if host not in self._ring:
                     self._ring.add(host)
+                readmitted = True
+        if readmitted:
+            self.metrics.counter(
+                "repro_shard_readmissions_total",
+                "Quarantined hosts re-admitted after a healthy probe",
+            ).labels(host=host).inc()
 
     def _note_failure(self, host: str) -> None:
+        quarantined = False
         with self._membership_lock:
             self._failures[host] += 1
             if self._failures[host] >= self.quarantine_after and \
@@ -296,6 +319,12 @@ class ShardedOptimizer:
                 self._quarantined.add(host)
                 if host in self._ring:
                     self._ring.remove(host)
+                quarantined = True
+        if quarantined:
+            self.metrics.counter(
+                "repro_shard_quarantines_total",
+                "Hosts quarantined out of the routing ring",
+            ).labels(host=host).inc()
 
     def probe(self, timeout: Optional[float] = None) -> Dict[str, bool]:
         """Probe every host's readiness and update membership.
@@ -349,13 +378,19 @@ class ShardedOptimizer:
             )
             for host, batch in pending.items()
         }
+        clock = self._monotonic
+        started = clock()
         deadline = (None if self.shard_timeout is None
-                    else time.monotonic() + self.shard_timeout)
+                    else started + self.shard_timeout)
+        dispatch_seconds = self.metrics.histogram(
+            "repro_shard_dispatch_seconds",
+            "Dispatch-to-outcome wallclock per shard round, by host",
+        )
         outcomes: Dict[str, object] = {}
         for host, future in futures.items():
             try:
                 remaining = (None if deadline is None
-                             else max(0.0, deadline - time.monotonic()))
+                             else max(0.0, deadline - clock()))
                 outcomes[host] = future.result(timeout=remaining)
             except FuturesTimeout:
                 future.cancel()
@@ -366,6 +401,7 @@ class ShardedOptimizer:
                 )
             except Exception as exc:  # noqa: BLE001 - classified below
                 outcomes[host] = exc
+            dispatch_seconds.labels(host=host).observe(clock() - started)
         # Never block on abandoned (timed-out) dispatcher threads.
         pool.shutdown(wait=False, cancel_futures=True)
         return outcomes
@@ -420,6 +456,10 @@ class ShardedOptimizer:
                 exc = outcome
                 shard_errors[host] = exc
                 names = [_job_name(entry) for entry, _sig in batch]
+                self.metrics.counter(
+                    "repro_shard_failures_total",
+                    "Shard dispatch failures, by host and failure kind",
+                ).labels(host=host, kind=type(exc).__name__).inc()
                 if isinstance(exc, ShardFailure) and exc.retryable:
                     self._note_failure(host)
                     if host in ring:
@@ -435,6 +475,10 @@ class ShardedOptimizer:
                         record = rehomed.setdefault(
                             name, {"from": host, "attempts": 0})
                         record["attempts"] += 1
+                    self.metrics.counter(
+                        "repro_shard_rehomed_jobs_total",
+                        "Jobs re-homed off a failed shard",
+                    ).inc(len(names))
                     retry.extend(batch)
                 else:
                     fatal[host] = exc
@@ -465,6 +509,11 @@ class ShardedOptimizer:
                 for entry, _sig in batch:
                     rehomed[_job_name(entry)]["to"] = host
 
+        if rounds:
+            self.metrics.counter(
+                "repro_shard_redispatch_rounds_total",
+                "Extra dispatch rounds spent re-homing failed batches",
+            ).inc(rounds)
         merged = FleetOptimizationReport.merge(reports)
         # Restore submission order (merge concatenates shard by shard).
         merged.jobs.sort(key=lambda j: order[j.name])
@@ -500,6 +549,13 @@ class ShardedOptimizer:
         hits = sum(s["cache_hits"] for s in reachable)
         misses = sum(s["cache_misses"] for s in reachable)
         total = hits + misses
+        # Merge per-shard metric snapshots (histograms bucket-wise) with
+        # the router's own registry into one fleet-wide snapshot.
+        snapshots = [self.metrics.as_dict()]
+        snapshots.extend(
+            s["metrics"] for s in reachable
+            if isinstance(s.get("metrics"), dict)
+        )
         return {
             "cache_hits": hits,
             "cache_misses": misses,
@@ -508,4 +564,5 @@ class ShardedOptimizer:
             "shards": shard_stats,
             "unreachable_shards": unreachable,
             "quarantined_shards": list(self.quarantined),
+            "metrics": merge_snapshots(snapshots),
         }

@@ -191,3 +191,82 @@ class TestOptimizeDecorator:
 
         with pytest.raises(ValueError, match="exactly one"):
             loader()
+
+
+class TestPassTelemetry:
+    """OptimizationResult.pass_telemetry: one entry per (iteration,
+    registered pass) with wallclock, actions, predicted vs realized."""
+
+    REQUIRED_KEYS = {
+        "pass", "iteration", "seconds", "actions",
+        "throughput_before", "throughput_after",
+        "realized_gain", "predicted_throughput", "predicted_gain",
+    }
+
+    def test_every_pass_reports_every_iteration(
+        self, small_catalog, test_machine
+    ):
+        passes = ("parallelism", "prefetch", "cache")
+        plumber = Plumber(test_machine, backend="analytic")
+        result = plumber.optimize(
+            two_stage_pipeline(small_catalog), passes=passes, iterations=2
+        )
+        assert [(e["iteration"], e["pass"]) for e in result.pass_telemetry] \
+            == [(i, p) for i in range(2) for p in passes]
+        for entry in result.pass_telemetry:
+            assert self.REQUIRED_KEYS <= set(entry)
+            assert entry["seconds"] >= 0
+            assert entry["actions"] >= 0
+
+    def test_injected_clock_makes_wallclock_deterministic(
+        self, small_catalog, test_machine
+    ):
+        ticks = iter(float(i) for i in range(100))
+        plumber = Plumber(
+            test_machine, backend="analytic", monotonic=lambda: next(ticks)
+        )
+        result = plumber.optimize(
+            two_stage_pipeline(small_catalog), passes=("parallelism",)
+        )
+        # The fake clock advances 1.0 between the start and end reads.
+        assert result.pass_telemetry[0]["seconds"] == 1.0
+
+    def test_predicted_vs_realized_on_acting_lp_pass(
+        self, small_catalog, test_machine
+    ):
+        import math
+
+        plumber = Plumber(test_machine, backend="analytic")
+        result = plumber.optimize(two_stage_pipeline(small_catalog))
+        par = next(
+            e for e in result.pass_telemetry if e["pass"] == "parallelism"
+        )
+        # The LP pass forecasts: prediction present and gain realized.
+        assert par["actions"] > 0
+        assert not math.isnan(par["predicted_throughput"])
+        assert not math.isnan(par["predicted_gain"])
+        assert par["throughput_after"] > par["throughput_before"]
+        assert par["realized_gain"] > 0
+        # A pass that planned nothing is still reported, with zero
+        # actions and unchanged throughput. (An idle *parallelism* pass
+        # may still carry a prediction — its plan re-solves the LP and
+        # forecasts "no change"; non-LP passes must not.)
+        idle = [e for e in result.pass_telemetry if e["actions"] == 0]
+        for entry in idle:
+            assert entry["throughput_after"] == entry["throughput_before"]
+            if entry["pass"] != "parallelism":
+                assert math.isnan(entry["predicted_throughput"])
+
+    def test_pass_metrics_reach_global_registry(
+        self, small_catalog, test_machine
+    ):
+        from repro.obs import global_registry
+
+        hist = global_registry().histogram("repro_pass_seconds")
+        cell = hist.labels(**{"pass": "parallelism"})
+        before = cell.count
+        Plumber(test_machine, backend="analytic").optimize(
+            two_stage_pipeline(small_catalog),
+            passes=("parallelism",), iterations=1,
+        )
+        assert cell.count == before + 1

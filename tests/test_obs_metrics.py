@@ -1,0 +1,311 @@
+"""Property and concurrency tests for the ``repro.obs`` metrics core.
+
+The Histogram is a streaming sketch, so its contract is statistical:
+hypothesis drives the three guarantees (rank-quantile relative-error
+bound, merge == pooled observation, JSON round-trip), and a threaded
+hammer pins that registry snapshots stay internally consistent while
+writers are mid-flight.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    merge_snapshots,
+    render_text,
+    reset_global_registry,
+    summarize_snapshot,
+)
+
+finite_values = st.floats(
+    min_value=-1e9, max_value=1e9,
+    allow_nan=False, allow_infinity=False,
+)
+sample_lists = st.lists(finite_values, min_size=1, max_size=200)
+
+
+def _rank_value(samples, q):
+    ordered = sorted(samples)
+    return ordered[math.floor(q * (len(ordered) - 1))]
+
+
+def _within_relative(estimate, exact, relative_error):
+    # fp slack on top of the sketch's guarantee: log/pow round-trips in
+    # bucket math can push the estimate a hair past the exact bound.
+    tolerance = relative_error * abs(exact) * 1.0001 + 1e-9
+    return abs(estimate - exact) <= tolerance
+
+
+# ----------------------------------------------------------------------
+# Histogram properties
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(samples=sample_lists, q=st.sampled_from([0.0, 0.25, 0.5, 0.9, 0.99, 1.0]))
+def test_quantile_within_relative_error_of_rank_value(samples, q):
+    hist = Histogram(relative_error=0.01)
+    for value in samples:
+        hist.observe(value)
+    exact = _rank_value(samples, q)
+    estimate = hist.quantile(q)
+    assert _within_relative(estimate, exact, hist.relative_error), (
+        f"quantile({q})={estimate} vs exact rank value {exact}"
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(left=sample_lists, right=sample_lists)
+def test_merge_equals_pooled_observation(left, right):
+    a = Histogram(relative_error=0.01)
+    b = Histogram(relative_error=0.01)
+    pooled = Histogram(relative_error=0.01)
+    for value in left:
+        a.observe(value)
+        pooled.observe(value)
+    for value in right:
+        b.observe(value)
+        pooled.observe(value)
+    a.merge(b)
+
+    # Bucket state is integer counts, so it must match exactly; the
+    # running sum differs only by float associativity.
+    assert a.to_dict()["pos"] == pooled.to_dict()["pos"]
+    assert a.to_dict()["neg"] == pooled.to_dict()["neg"]
+    assert a.to_dict()["zero"] == pooled.to_dict()["zero"]
+    assert a.count == pooled.count
+    assert a.to_dict()["min"] == pooled.to_dict()["min"]
+    assert a.to_dict()["max"] == pooled.to_dict()["max"]
+    assert a.sum == pytest.approx(pooled.sum, rel=1e-9, abs=1e-9)
+    for q in (0.5, 0.9, 0.99):
+        assert a.quantile(q) == pooled.quantile(q)
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples=sample_lists)
+def test_snapshot_round_trips_through_json(samples):
+    hist = Histogram(relative_error=0.02)
+    for value in samples:
+        hist.observe(value)
+    revived = Histogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+    assert revived.to_dict() == hist.to_dict()
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert revived.quantile(q) == hist.quantile(q)
+
+
+def test_histogram_bounded_memory_under_collapse():
+    hist = Histogram(relative_error=0.01, max_buckets=16)
+    for exponent in range(400):
+        hist.observe(1.0001 ** exponent * 1e-6 * (10 ** (exponent % 12)))
+    state = hist.to_dict()
+    assert len(state["pos"]) <= 16
+    assert state["count"] == 400
+    # Collapse folds low buckets upward: the top quantile stays honest.
+    assert _within_relative(hist.quantile(1.0), state["max"], 0.01)
+
+
+def test_histogram_rejects_mismatched_merge_and_bad_values():
+    hist = Histogram(relative_error=0.01)
+    with pytest.raises(ValueError):
+        hist.merge(Histogram(relative_error=0.05))
+    with pytest.raises(ValueError):
+        hist.merge(hist)
+    with pytest.raises(TypeError):
+        hist.merge("not a histogram")
+    with pytest.raises(ValueError):
+        hist.observe(math.nan)
+    with pytest.raises(ValueError):
+        hist.observe(math.inf)
+    assert math.isnan(hist.quantile(0.5))  # empty sketch
+
+
+def test_histogram_time_context_uses_injected_clock():
+    ticks = iter([10.0, 12.5])
+    registry = MetricsRegistry(clock=lambda: next(ticks))
+    hist = registry.histogram("test_seconds")
+    with hist.time():
+        pass
+    assert hist.count == 1
+    assert hist.sum == pytest.approx(2.5)
+
+
+# ----------------------------------------------------------------------
+# Counter / Gauge / registry semantics
+# ----------------------------------------------------------------------
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("jobs_total")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+    gauge = registry.gauge("depth")
+    gauge.set(7)
+    gauge.dec(2)
+    assert gauge.value == 5
+
+
+def test_labels_create_distinct_cells_and_unlabeled_stays_hidden():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total")
+    counter.labels(route="/stats").inc()
+    counter.labels(route="/stats").inc()
+    counter.labels(route="/metrics").inc()
+    samples = registry.as_dict()["requests_total"]["samples"]
+    by_route = {s["labels"].get("route"): s["value"] for s in samples}
+    # The unlabeled cell was never written: only labeled children emit.
+    assert by_route == {"/stats": 2, "/metrics": 1}
+
+    counter.inc()  # now the unlabeled cell appears too
+    samples = registry.as_dict()["requests_total"]["samples"]
+    assert {tuple(s["labels"].items()) for s in samples} == {
+        (), (("route", "/stats"),), (("route", "/metrics"),),
+    }
+
+
+def test_registry_get_or_create_and_kind_mismatch():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(ValueError):
+        registry.counter("")
+    assert registry.get("x").value == 0
+    assert registry.get("missing") is None
+    assert registry.names() == ("x",)
+
+
+def test_global_registry_reset_isolation():
+    first = global_registry()
+    first.counter("leak_total").inc()
+    fresh = reset_global_registry()
+    assert fresh is global_registry()
+    assert fresh.get("leak_total") is None
+
+
+# ----------------------------------------------------------------------
+# Snapshot-level operations
+# ----------------------------------------------------------------------
+def _populated_registry(scale):
+    registry = MetricsRegistry()
+    registry.counter("hits_total").inc(3 * scale)
+    registry.gauge("lane_in_flight").labels(lane="analytic").set(scale)
+    hist = registry.histogram("request_seconds")
+    for i in range(1, 11):
+        hist.labels(route="/stats").observe(i * 0.01 * scale)
+    return registry
+
+
+def test_merge_snapshots_sums_scalars_and_pools_histograms():
+    merged = merge_snapshots([
+        _populated_registry(1).as_dict(),
+        _populated_registry(2).as_dict(),
+        {},
+    ])
+    flat = summarize_snapshot(merged)
+    assert flat["hits_total"] == 9
+    assert flat['lane_in_flight{lane="analytic"}'] == 3
+    pooled = flat['request_seconds{route="/stats"}']
+    assert pooled["count"] == 20
+    assert pooled["min"] == pytest.approx(0.01)
+    assert pooled["max"] == pytest.approx(0.2)
+
+    with pytest.raises(TypeError):
+        merge_snapshots([
+            {"x": {"kind": "counter", "help": "", "samples": []}},
+            {"x": {"kind": "gauge", "help": "", "samples": []}},
+        ])
+
+
+def test_render_text_exposition_shape():
+    registry = _populated_registry(1)
+    text = registry.render_text()
+    assert "# TYPE hits_total counter" in text
+    assert "hits_total 3.0" in text
+    assert '# TYPE lane_in_flight gauge' in text
+    assert 'lane_in_flight{lane="analytic"} 1.0' in text
+    # Histograms render as summaries: quantile series + _sum/_count.
+    assert "# TYPE request_seconds summary" in text
+    assert 'request_seconds{quantile="0.5",route="/stats"}' in text
+    assert 'request_seconds_count{route="/stats"} 10.0' in text
+    assert text.endswith("\n")
+
+
+def test_render_text_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("odd_total").labels(path='a"b\\c\nd').inc()
+    line = [l for l in registry.render_text().splitlines()
+            if l.startswith("odd_total{")][0]
+    assert '\\"' in line and "\\\\" in line and "\\n" in line
+
+
+# ----------------------------------------------------------------------
+# Concurrency: snapshots stay internally consistent under writers
+# ----------------------------------------------------------------------
+def test_snapshot_consistency_under_concurrent_writers():
+    registry = MetricsRegistry()
+    stop = threading.Event()
+    errors = []
+
+    def writer(worker_id):
+        counter = registry.counter("ops_total")
+        hist = registry.histogram("op_seconds")
+        gauge = registry.gauge("busy")
+        i = 0
+        while not stop.is_set():
+            counter.labels(worker=str(worker_id)).inc()
+            hist.observe((i % 50 + 1) * 1e-3)
+            gauge.set(i % 7)
+            i += 1
+
+    def checker():
+        try:
+            while not stop.is_set():
+                snap = registry.as_dict()
+                for family in snap.values():
+                    if family["kind"] != "histogram":
+                        continue
+                    for sample in family["samples"]:
+                        state = sample["value"]
+                        bucketed = (sum(state["pos"].values())
+                                    + sum(state["neg"].values())
+                                    + state["zero"])
+                        # The family lock makes count and buckets move
+                        # together: a torn read would break this.
+                        if bucketed != state["count"]:
+                            errors.append(
+                                f"count {state['count']} != buckets {bucketed}"
+                            )
+                        if state["count"] and not (
+                                state["min"] <= state["p50"] <= state["max"]):
+                            errors.append("quantile outside [min, max]")
+                json.dumps(snap)  # snapshot must always be serializable
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(repr(exc))
+
+    writers = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+    checkers = [threading.Thread(target=checker) for _ in range(2)]
+    for thread in writers + checkers:
+        thread.start()
+    threading.Event().wait(0.5)
+    stop.set()
+    for thread in writers + checkers:
+        thread.join(timeout=10)
+    assert not errors, errors[:5]
+
+    final = registry.as_dict()
+    total = sum(s["value"] for s in final["ops_total"]["samples"]
+                if s["labels"])
+    assert total == final["op_seconds"]["samples"][0]["value"]["count"]

@@ -367,3 +367,31 @@ class TestStatsCollection:
         for name in ("src", "map_work", "batch"):
             observed = res.stats[name].elements_produced / root
             assert observed == pytest.approx(structural[name], rel=0.05)
+
+
+class TestEngineTelemetry:
+    """Event counters surfaced on RunResult and the global registry."""
+
+    def test_run_result_carries_engine_counters(
+        self, simple_pipeline, test_machine
+    ):
+        result = run_pipeline(
+            simple_pipeline, test_machine, duration=1.0, warmup=0.2
+        )
+        assert result.events_processed > 0
+        # Zero-delay handoffs guarantee the ready deque was used.
+        assert result.peak_ready_depth >= 1
+
+    def test_global_registry_accumulates_sim_events(
+        self, simple_pipeline, test_machine
+    ):
+        from repro.obs import global_registry
+
+        counter = global_registry().counter("repro_sim_events_total")
+        before = counter.value
+        result = run_pipeline(
+            simple_pipeline, test_machine, duration=1.0, warmup=0.2
+        )
+        assert counter.value == before + result.events_processed
+        depth_hist = global_registry().get("repro_sim_ready_depth")
+        assert depth_hist is not None and depth_hist.count >= 1

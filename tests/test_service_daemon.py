@@ -624,3 +624,88 @@ class TestDiskStoreFaultTolerance:
             assert report["cache_hits"] == 1
         # The recompute repaired the torn entry on disk.
         assert DiskStore(tmp_path).get(victim) is not None
+
+
+# ----------------------------------------------------------------------
+# GET /metrics: live text exposition + mergeable JSON snapshot.
+# ----------------------------------------------------------------------
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.status, resp.read().decode("utf-8"), dict(resp.headers)
+
+
+class TestMetricsEndpoint:
+    def _run_one_batch(self, daemon, small_catalog, test_machine):
+        body = {"jobs": [_job_body(
+            "job", small_pipeline(small_catalog), test_machine)]}
+        _, accepted, _ = _post(f"{daemon.url}/optimize", body)
+        assert _wait_done(daemon.url, accepted["id"])["status"] == "done"
+
+    def test_text_exposition_on_live_daemon(
+        self, daemon, small_catalog, test_machine
+    ):
+        self._run_one_batch(daemon, small_catalog, test_machine)
+        status, text, headers = _get_text(f"{daemon.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        # Route latency histograms surface p50 and p99 per route.
+        assert ('repro_daemon_request_seconds{quantile="0.5",'
+                'route="optimize"}') in text
+        assert ('repro_daemon_request_seconds{quantile="0.99",'
+                'route="jobs"}') in text
+        # Admission lane occupancy gauges exist per lane (idle = 0).
+        assert 'repro_daemon_lane_in_flight{lane="analytic"} 0.0' in text
+        assert 'repro_daemon_lane_in_flight{lane="simulate"} 0.0' in text
+        # Hit-rate counters from the optimizer's registry merged in.
+        assert 'repro_service_jobs_total{result="miss"} 1.0' in text
+        # And the engine's process-global counters rode along too.
+        assert "repro_sim_events_total" in text or \
+            "repro_trace_total" in text
+
+    def test_json_snapshot_is_mergeable_form(
+        self, daemon, small_catalog, test_machine
+    ):
+        from repro.obs import merge_snapshots, summarize_snapshot
+
+        self._run_one_batch(daemon, small_catalog, test_machine)
+        status, snap, _ = _get(f"{daemon.url}/metrics?format=json")
+        assert status == 200
+        family = snap["repro_daemon_request_seconds"]
+        assert family["kind"] == "histogram"
+        routes = {s["labels"]["route"] for s in family["samples"]}
+        assert {"optimize", "jobs"} <= routes
+        for sample in family["samples"]:
+            value = sample["value"]
+            assert value["count"] >= 1
+            assert value["p50"] <= value["p99"]
+        # The snapshot is the mergeable wire form: merging it with
+        # itself doubles counts instead of raising.
+        doubled = merge_snapshots([snap, snap])
+        summary = summarize_snapshot(doubled)
+        assert summary[
+            'repro_daemon_batches_total{status="done"}'] == 2.0
+
+    def test_unknown_routes_collapse_to_other(self, daemon):
+        status, _, _ = _get(f"{daemon.url}/nope")
+        assert status == 404
+        _, snap, _ = _get(f"{daemon.url}/metrics?format=json")
+        counts = snap["repro_daemon_requests_total"]["samples"]
+        labels = [s["labels"] for s in counts]
+        assert any(l["route"] == "other" and l["status"] == "404"
+                   for l in labels)
+        # Bounded cardinality: every route label is from the known set.
+        known = {"optimize", "compact", "healthz", "ready", "stats",
+                 "jobs", "report", "metrics", "other"}
+        assert {l["route"] for l in labels} <= known
+
+    def test_stats_carries_metrics_summary(
+        self, daemon, small_catalog, test_machine
+    ):
+        self._run_one_batch(daemon, small_catalog, test_machine)
+        status, payload, _ = _get(f"{daemon.url}/stats")
+        assert status == 200
+        summary = payload["metrics"]
+        assert summary['repro_daemon_batches_total{status="done"}'] == 1.0
+        route = summary[
+            'repro_daemon_request_seconds{route="optimize"}']
+        assert route["count"] >= 1 and "p99" in route

@@ -270,3 +270,88 @@ class TestShardedOptimizer:
         p2 = small_pipeline(small_catalog, parallelism=4, name="p2")
         with pytest.raises(ValueError, match="duplicate"):
             sharded.optimize_fleet([("same", p1), ("same", p2)])
+
+
+class TestShardMetricsAndClock:
+    def test_injected_clock_times_out_without_sleeping(self):
+        """A fake clock jumped past the dispatch deadline times shards
+        out immediately — deadline arithmetic runs on the injected
+        clock, not wall time (satellite: no-sleep deadline tests)."""
+        import itertools
+        import threading
+        import time as _time
+
+        from repro.service.errors import ShardDispatchError
+
+        release = threading.Event()
+
+        class StuckShard:
+            def __init__(self):
+                self.inner = BatchOptimizer(executor="serial",
+                                            spec=FAST_SPEC)
+
+            def optimize_fleet(self, jobs):
+                release.wait(10)
+                return self.inner.optimize_fleet(jobs)
+
+            def stats(self):
+                return self.inner.stats()
+
+        ticks = itertools.count(0, 1000.0)
+        sharded = ShardedOptimizer(
+            [StuckShard()],
+            shard_timeout=10.0,           # << the 1000/read fake clock
+            quarantine_after=1,
+            monotonic=lambda: float(next(ticks)),
+        )
+        start = _time.perf_counter()
+        try:
+            with pytest.raises(ShardDispatchError, match="no surviving"):
+                sharded.optimize_fleet(make_fleet(num_jobs=4, distinct=2))
+        finally:
+            release.set()
+        # No real waiting happened: the 10 s deadline expired on the
+        # fake clock, not the wall clock.
+        assert _time.perf_counter() - start < 5.0
+        summary = sharded.metrics.summary()
+        assert summary[
+            'repro_shard_failures_total'
+            '{host="shard-0",kind="ShardTimeout"}'] == 1.0
+        assert summary[
+            'repro_shard_quarantines_total{host="shard-0"}'] == 1.0
+
+    def test_stats_merges_shard_metric_snapshots(self):
+        """stats()['metrics'] is the fleet-wide snapshot: the router's
+        own dispatch histograms merged bucket-wise with every reachable
+        shard's registry."""
+        from repro.obs import summarize_snapshot
+
+        fleet = make_fleet(num_jobs=12, distinct=4)
+        sharded = ShardedOptimizer([
+            BatchOptimizer(executor="serial", spec=FAST_SPEC)
+            for _ in range(3)
+        ])
+        sharded.optimize_fleet(fleet)
+        stats = sharded.stats()
+        summary = summarize_snapshot(stats["metrics"])
+        # Counter families sum across shards: signature-affine routing
+        # means per-shard misses add up to the deduped global count.
+        assert summary['repro_service_jobs_total{result="miss"}'] == \
+            stats["cache_misses"]
+        assert summary['repro_service_jobs_total{result="hit"}'] == \
+            stats["cache_hits"]
+        # The front-end's dispatch latency histogram covers every
+        # occupied host, and histograms survive the merge as quantiles.
+        dispatch = {
+            key: value for key, value in summary.items()
+            if key.startswith("repro_shard_dispatch_seconds")
+        }
+        assert len(dispatch) >= 2  # the fleet actually fanned out
+        for value in dispatch.values():
+            assert value["count"] == 1
+            assert value["p50"] <= value["p99"]
+        # Per-shard job latency histograms pooled: one observation per
+        # executed (miss) job across the whole fleet.
+        job_seconds = summary[
+            'repro_service_job_seconds{backend="analytic"}']
+        assert job_seconds["count"] == stats["cache_misses"]

@@ -157,6 +157,16 @@ class TestFailover:
             assert record["attempts"] == 1
             assert record["completed"] is True
 
+        # The metrics surface tells the same story as the degraded
+        # section — the two are pinned to agree.
+        summary = sharded.metrics.summary()
+        assert summary["repro_shard_rehomed_jobs_total"] == len(lost_jobs)
+        assert summary["repro_shard_redispatch_rounds_total"] == \
+            degraded["redispatch_rounds"]
+        assert summary[
+            "repro_shard_failures_total"
+            f'{{host="{die_host}",kind="ShardUnreachable"}}'] == 1.0
+
     def test_zero_fault_fleet_has_no_degraded_section(self):
         merged = ShardedOptimizer(
             make_optimizers(3)).optimize_fleet(make_fleet())
@@ -264,6 +274,14 @@ class TestFailover:
         third = sharded.optimize_fleet(fleet)
         assert third.degraded is None
         assert [j.name for j in third.jobs] == [j.name for j in fleet]
+
+        # The quarantine/re-admission cycle left its trace on the
+        # metrics surface, agreeing with the membership history above.
+        summary = sharded.metrics.summary()
+        assert summary[
+            f'repro_shard_quarantines_total{{host="{sick_host}"}}'] == 1.0
+        assert summary[
+            f'repro_shard_readmissions_total{{host="{sick_host}"}}'] == 1.0
 
     def test_all_hosts_quarantined_fails_fast(self):
         fleet = make_fleet()
@@ -462,6 +480,12 @@ class TestGracefulDrain:
         # ... while status polling keeps answering for in-flight work.
         assert client.status(accepted["id"])["status"] in (
             "queued", "running")
+        # ... and /metrics keeps serving mid-drain: observability lasts
+        # to the final request, and the drain itself is visible.
+        status, snapshot, _ = client._request(
+            "GET", "/metrics?format=json")
+        assert status == 200
+        assert snapshot["repro_daemon_draining"]["samples"][0]["value"] == 1
 
         closer.join(timeout=30)
         assert not closer.is_alive()
@@ -610,12 +634,15 @@ class TestGcSweep:
             def compact_store(self, max_age_seconds):
                 raise OSError("store directory vanished")
 
+        from repro.obs import MetricsRegistry
+
         daemon = OptimizationDaemon.__new__(OptimizationDaemon)
         daemon.optimizer = BrokenStoreOptimizer()
         daemon._compact_max_age = 0.0
         daemon._lock = threading.Lock()
         daemon.gc_sweeps = 0
         daemon.gc_removed = 0
+        daemon.metrics = MetricsRegistry()
         assert daemon.run_gc_sweep() == 0
         assert daemon.gc_sweeps == 1
 
@@ -715,6 +742,17 @@ class TestEndToEndFailover:
             # Fleet stats stay serviceable with the host gone.
             stats = sharded.stats()
             assert stats["unreachable_shards"] == [f"shard-{die_idx}"]
+            # The failover counters in the merged metrics snapshot
+            # agree with the degraded section.
+            from repro.obs import summarize_snapshot
+
+            summary = summarize_snapshot(stats["metrics"])
+            assert summary["repro_shard_rehomed_jobs_total"] == \
+                len(lost_jobs)
+            assert summary[
+                "repro_shard_failures_total"
+                f'{{host="shard-{die_idx}",kind="ShardUnreachable"}}'
+            ] == 1.0
         finally:
             for proc in daemons:
                 proc.close()
