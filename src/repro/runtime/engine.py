@@ -259,6 +259,12 @@ class SimQueue:
     :data:`EOS`.
     """
 
+    __slots__ = (
+        "sim", "capacity", "name", "items", "_putters", "_getters",
+        "closed", "_occ_integral", "_occ_last_t", "_created_t",
+        "total_puts", "total_gets", "peak_occupancy",
+    )
+
     def __init__(self, sim: Simulation, capacity: int, name: str = "queue") -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
@@ -294,9 +300,15 @@ class SimQueue:
         (``now - created``), not the absolute clock — a queue created
         mid-run would otherwise under-report occupancy to the prefetch
         planner.
+
+        ``_track`` folds the window up to the current clock into the
+        integral first, so a ``run(until=)`` that stops mid-window (the
+        engine advances the clock to ``until`` before returning) yields
+        the same answer as one stopping on an event boundary at the
+        same instant.
         """
         self._track()
-        elapsed = self._occ_last_t - self._created_t
+        elapsed = self.sim.now - self._created_t
         if elapsed <= 0:
             return 0.0
         return self._occ_integral / elapsed
@@ -372,6 +384,11 @@ class CoreScheduler:
     the paper's RCNN over-allocation cliff (Obs. 5).
     """
 
+    __slots__ = (
+        "sim", "capacity", "free", "_waiting", "penalty",
+        "_busy_integral", "_busy_last_t", "_created_t",
+    )
+
     def __init__(
         self,
         sim: Simulation,
@@ -389,6 +406,7 @@ class CoreScheduler:
         # Telemetry: integral of busy cores over time (CPU utilization).
         self._busy_integral = 0.0
         self._busy_last_t = sim.now
+        self._created_t = sim.now
 
     def _penalty_factor(self, slope: float, threads: float) -> float:
         if threads <= self.capacity or slope <= 0:
@@ -403,9 +421,24 @@ class CoreScheduler:
         self._busy_integral += (self.capacity - self.free) * (now - last)
         self._busy_last_t = now
 
-    def utilization(self, duration: float) -> float:
-        """Mean fraction of cores busy over ``duration``."""
+    def utilization(self, duration: Optional[float] = None) -> float:
+        """Mean fraction of cores busy over ``duration``.
+
+        With ``duration=None`` the busy integral is divided by elapsed
+        time since the scheduler was created (``sim.now - created``) —
+        the same convention :meth:`SimQueue.mean_occupancy` uses, so the
+        two telemetry surfaces agree whether ``run(until=)`` stopped at
+        an event boundary or mid-window (``run`` advances the clock to
+        ``until`` on a mid-window stop, and ``_track`` folds the partial
+        window into the integral at the current busy level).
+
+        Passing an explicit ``duration`` keeps the historical behavior
+        of normalizing against a caller-chosen window (the executor
+        passes the run's final clock value).
+        """
         self._track()
+        if duration is None:
+            duration = self.sim.now - self._created_t
         if duration <= 0:
             return 0.0
         return self._busy_integral / (self.capacity * duration)
@@ -449,6 +482,8 @@ class FairShareDisk:
     #: reads with fewer remaining bytes than this are considered done
     #: (guards against float underflow livelock at a single timestamp)
     _EPS_BYTES = 1e-3
+
+    __slots__ = ("sim", "spec", "_active", "_last_t", "_version", "total_bytes")
 
     def __init__(self, sim: Simulation, spec) -> None:
         self.sim = sim

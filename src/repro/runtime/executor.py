@@ -40,6 +40,14 @@ from repro.runtime.iterators import (
     expected_elements_per_chunk,
 )
 from repro.runtime.stats import NodeStats, StatsBoard
+from repro.runtime.vector import (
+    EngineFallback,
+    TurboCores,
+    TurboQueue,
+    VectorConsumer,
+    VectorSimulation,
+    build_vector_stage,
+)
 
 
 @dataclass
@@ -64,6 +72,10 @@ class ModelConsumer:
             raise ValueError("step time must be >= 0")
 
 
+#: simulation engine implementations selectable via ``RunConfig.engine``
+SIM_ENGINES = ("vectorized", "reference")
+
+
 @dataclass
 class RunConfig:
     """Knobs for one simulated run."""
@@ -77,6 +89,12 @@ class RunConfig:
     #: cap on simulation events per run when ``granularity`` is unset;
     #: the auto-tuner coarsens chunks until the estimate fits
     event_budget: Optional[int] = None
+    #: simulation engine: ``"vectorized"`` (compiled workers, pooled
+    #: wakes, serve-phase chunk replay — the default) or ``"reference"``
+    #: (the scalar generator engine the golden-trace corpus is captured
+    #: from). Both emit byte-identical traces; the reference path is
+    #: retained so the fast path is always checkable.
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -87,6 +105,11 @@ class RunConfig:
             raise ValueError("granularity must be >= 1")
         if self.event_budget is not None and self.event_budget < 1:
             raise ValueError("event_budget must be >= 1")
+        if self.engine not in SIM_ENGINES:
+            raise ValueError(
+                f"unknown simulation engine {self.engine!r}; "
+                f"available: {list(SIM_ENGINES)}"
+            )
 
 
 @dataclass
@@ -108,6 +131,9 @@ class RunResult:
     completed: bool                         # stream drained before time limit
     events_processed: int = 0               # engine callbacks fired
     peak_ready_depth: int = 0               # deepest same-timestamp deque
+    #: per-node output-queue telemetry (puts/gets/peak/mean occupancy),
+    #: part of the engine-equivalence contract the golden corpus pins
+    queue_stats: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def examples_per_second(self) -> float:
@@ -285,9 +311,34 @@ def run_pipeline(
         raise TypeError("pass either a RunConfig or keyword overrides, not both")
     validate_pipeline(pipeline)
 
-    sim = Simulation()
+    # Both engines share the resource models (queue/cores/disk float
+    # math is inherited, not reimplemented), so their traces are
+    # byte-identical; the vectorized engine swaps the generator workers
+    # and dispatch machinery for compiled tasks and direct wakes.
+    if config.engine == "vectorized":
+        try:
+            return _execute(pipeline, machine, config, vectorized=True)
+        except EngineFallback:
+            # A timer delay vanished below one ulp of the clock — the one
+            # regime whose mid-cohort interleaving the vectorized drain
+            # does not reproduce. The partial run is discarded wholesale
+            # (all engine state is local to _execute) and the pipeline is
+            # replayed on the scalar path, which handles it natively.
+            return _execute(pipeline, machine, config, vectorized=False)
+    return _execute(pipeline, machine, config, vectorized=False)
+
+
+def _execute(
+    pipeline: Pipeline,
+    machine: Machine,
+    config: RunConfig,
+    vectorized: bool,
+) -> RunResult:
+    """One simulated run on the selected engine (see :func:`run_pipeline`)."""
+    sim = VectorSimulation() if vectorized else Simulation()
     threads = _total_threads(pipeline)
-    sim.cores = CoreScheduler(
+    cores_cls = TurboCores if vectorized else CoreScheduler
+    sim.cores = cores_cls(
         sim,
         capacity=machine.cores,
         oversubscription_penalty=machine.oversubscription_penalty,
@@ -336,30 +387,43 @@ def run_pipeline(
             capacity = max(1, int(math.ceil(node.buffer_size / per_chunk)))
         else:
             capacity = max(2, node.effective_parallelism)
-        out_q = SimQueue(sim, capacity, name=node.name)
+        queue_cls = TurboQueue if vectorized else SimQueue
+        out_q = queue_cls(sim, capacity, name=node.name)
         queues[node.name] = out_q
 
         if isinstance(node, InterleaveSourceNode):
             source_epochs = 1.0 if node.name in below_cache else epochs
             cursor = FileCursor(node.catalog.files, epochs=source_epochs)
-            workers = build_stage(
-                node, None, out_q, ctx, stats,
-                cursor=cursor, granularity=granularity,
-            )
+            in_qs = None
         else:
+            cursor = None
             in_qs = [queues[c.name] for c in node.inputs]
-            workers = build_stage(
+        if vectorized:
+            tasks = build_vector_stage(
                 node, in_qs, out_q, ctx, stats,
+                cursor=cursor, granularity=granularity,
                 serve_epochs=cache_serve_epochs,
             )
-        for i, gen in enumerate(workers):
-            sim.spawn(gen, name=f"{node.name}[{i}]")
+            for task in tasks:
+                sim.schedule(0.0, task.start)
+        else:
+            workers = build_stage(
+                node, in_qs, out_q, ctx, stats,
+                cursor=cursor, granularity=granularity,
+                serve_epochs=cache_serve_epochs,
+            )
+            for i, gen in enumerate(workers):
+                sim.spawn(gen, name=f"{node.name}[{i}]")
 
     consumer_spec = config.consumer
-    consumer = _Consumer(
+    consumer_cls = VectorConsumer if vectorized else _Consumer
+    consumer = consumer_cls(
         sim, queues[pipeline.root.name], consumer_spec.step_seconds_per_element
     )
-    sim.spawn(consumer.run(), name="consumer")
+    if vectorized:
+        sim.schedule(0.0, consumer.start)
+    else:
+        sim.spawn(consumer.run(), name="consumer")
 
     # Warmup snapshot taken mid-run.
     warm: dict = {}
@@ -405,6 +469,18 @@ def run_pipeline(
         "Peak same-timestamp ready-deque depth per simulated run",
     ).observe(sim.peak_ready_depth)
 
+    # Queue telemetry is part of the engine-equivalence contract (the
+    # golden corpus pins it), so both engines surface it identically.
+    queue_stats = {
+        name: {
+            "total_puts": q.total_puts,
+            "total_gets": q.total_gets,
+            "peak_occupancy": q.peak_occupancy,
+            "mean_occupancy": q.mean_occupancy(),
+        }
+        for name, q in queues.items()
+    }
+
     return RunResult(
         pipeline=pipeline,
         machine=machine,
@@ -421,4 +497,5 @@ def run_pipeline(
         completed=completed,
         events_processed=sim.events_processed,
         peak_ready_depth=sim.peak_ready_depth,
+        queue_stats=queue_stats,
     )

@@ -1,0 +1,1495 @@
+"""The vectorized simulation engine (``RunConfig.engine="vectorized"``).
+
+The reference engine (:mod:`repro.runtime.engine` +
+:mod:`repro.runtime.iterators`) drives Python *generators* that yield
+frozen request objects (``Timeout``/``Compute``/``Read``/``Put``/``Get``)
+through a dispatch layer. Profiling a cache-heavy trace shows ~80% of
+wallclock goes to that machinery — ``gen.send`` frame switches, one
+frozen-dataclass allocation per request, ``_dispatch`` lookups, and the
+``schedule()`` indirection on every zero-delay wake — not to the event
+loop or the resource models themselves.
+
+This module removes all of it while leaving the *simulated universe*
+bit-for-bit unchanged:
+
+* **Compiled workers** — every generator in
+  :mod:`repro.runtime.iterators` is transcribed into a state-machine
+  object whose continuations are bound once at construction. Each
+  continuation performs the *same float operations in the same order*
+  and makes the *same* queue/core/disk/clock calls as its generator
+  counterpart, so the event sequence — and therefore every counter,
+  timestamp, and emitted trace byte — is identical by construction. No
+  request objects and no generator frames are allocated, ever; items
+  travel as plain ``(count, nbytes)`` tuples instead of frozen
+  dataclasses, and the per-node counter updates are the
+  :class:`~repro.runtime.stats.NodeStats` method bodies inlined
+  verbatim.
+* **Direct ready-deque wakes** — :class:`TurboQueue` and
+  :class:`TurboCores` append ``(resume, value)`` entries straight onto
+  the engine's same-timestamp FIFO instead of going through
+  ``schedule(0.0, ...)``. ``schedule(0.0, cb, v)`` *is*
+  ``ready.append((cb, v))``, so ordering is untouched. Adjacent wake
+  pairs that the protocol always emits back-to-back (a queue handoff
+  waking both the getter and the putter) are *fused* into one
+  four-field entry, halving deque traffic for handoffs. Timed waits
+  push onto the heap with the exact expression ``schedule`` uses,
+  minus the call.
+* **Cohort draining** — :class:`VectorSimulation.run` drains an entire
+  same-timestamp resume cohort in one inner loop with *no per-event
+  heap probe*: every timed push site proves its entry lands strictly
+  in the future (raising :class:`EngineFallback` otherwise), so
+  nothing on the heap can become due mid-cohort and the due-check is
+  needed only once per cohort, not once per event.
+* **Closed-form serve-phase deltas** — a steady-state cache replays an
+  identical chunk pattern, so :class:`_CacheTask` computes each serve
+  chunk's overhead/service/CPU-counter deltas once per run of
+  equal-sized chunks and replays them from cached floats; products of
+  identical floats are identical, so fast-forwarding through the
+  pattern is exact.
+
+The equivalence contract is enforced, not assumed: the golden-trace
+corpus (``tests/golden/`` + ``tests/test_engine_golden.py``) and the
+hypothesis property suite assert the two engines serialize
+byte-identical :class:`~repro.core.trace.PipelineTrace` artifacts on
+every run. Engine-internal telemetry (``events_processed``,
+``peak_ready_depth``) is explicitly *not* part of the contract.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.graph.datasets import (
+    BatchNode,
+    CacheNode,
+    DatasetNode,
+    FilterNode,
+    InterleaveDatasetsNode,
+    InterleaveSourceNode,
+    MapNode,
+    PrefetchNode,
+    RepeatNode,
+    ShuffleNode,
+    TakeNode,
+    ZipNode,
+)
+from repro.runtime.engine import (
+    EOS,
+    CoreScheduler,
+    SimQueue,
+    Simulation,
+    SimulationError,
+)
+from repro.runtime.iterators import (
+    READ_BLOCK_BYTES,
+    ExecContext,
+    FileCursor,
+    StageState,
+)
+from repro.runtime.stats import NodeStats
+
+_push = heapq.heappush
+
+
+class EngineFallback(Exception):
+    """Raised when the vectorized engine detects a degenerate float regime.
+
+    Every timed delay in the engine is strictly positive, so ``now +
+    delay > now`` — unless the delay is smaller than one ulp of the
+    clock (e.g. a ``1e-18`` second timer at ``t=100``). The reference
+    engine would run such an entry *mid-cohort* (it lands due at the
+    current instant), which is the one interleaving the vectorized
+    cohort drain does not reproduce. Rather than pay a per-event heap
+    probe to cover a case that cannot occur for any physical workload,
+    the push sites detect it and raise; :func:`~repro.runtime.executor.
+    run_pipeline` catches the exception, discards the partial run, and
+    reruns the pipeline on the reference engine — so emitted traces are
+    byte-identical to the reference engine in *every* regime.
+    """
+
+
+class _MultiArg:
+    """Cold-path adapter: a zero-delay callback with >1 scheduled args.
+
+    Vectorized ready entries are ``(callback, value)`` pairs (every wake
+    in the engine protocol carries at most one value), so the rare
+    multi-arg ``schedule(0.0, cb, a, b)`` call is wrapped to fit.
+    """
+
+    __slots__ = ("cb", "args")
+
+    def __init__(self, cb, args):
+        self.cb = cb
+        self.args = args
+
+    def __call__(self, value=None):
+        self.cb(*self.args)
+
+
+class VectorSimulation(Simulation):
+    """Event loop with batched same-timestamp cohort draining.
+
+    Event *ordering* is identical to :meth:`Simulation.run`: timed
+    entries due at the current instant run before ready entries (they
+    were necessarily scheduled earlier), and the ready FIFO preserves
+    insertion order. The inner drain runs a whole same-timestamp
+    cohort *without* probing the heap between callbacks. That is exact
+    because a heap entry can only become due mid-cohort if a push
+    collapsed onto the current instant (``now + delay == now`` with
+    ``delay > 0``) — the due-drain runs before each cohort, and every
+    other push is strictly future. All timed push sites guard against
+    exactly that collapse and raise :class:`EngineFallback`, which
+    :func:`~repro.runtime.executor.run_pipeline` converts into a clean
+    rerun on the reference engine. Ready depth is sampled once per
+    cohort (telemetry only; the golden harness excludes
+    engine-internal telemetry from equivalence, and
+    ``events_processed`` is likewise a cohort-sampled approximation).
+
+    The clock is mirrored into a local: callbacks cannot move ``now``
+    (only the loop's own timed-entry pop does), so ``self.now`` is
+    written exactly when the clock advances and read never.
+
+    Ready entries are ``(callback, value)`` pairs — one positional
+    value per wake, matching the resume protocol — so dispatch is a
+    plain call instead of an argument-tuple unpack. Fused adjacent
+    wake pairs travel as ``(cb1, v1, cb2, v2)`` and are discriminated
+    by length; running both halves consecutively matches reference
+    FIFO order because the pair was appended with nothing between its
+    halves, and anything the first callback appends lands *after* the
+    pair. ``schedule`` is overridden to normalize zero-delay entries
+    into the pair shape.
+    """
+
+    def schedule(self, delay: float, callback, *args) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if delay == 0.0:
+            n = len(args)
+            if n == 1:
+                self._ready.append((callback, args[0]))
+            elif n == 0:
+                self._ready.append((callback, None))
+            else:
+                self._ready.append((_MultiArg(callback, args), None))
+            return
+        t = self.now + delay
+        if t <= self.now:
+            raise EngineFallback
+        self._seq += 1
+        _push(self._heap, (t, self._seq, callback, args))
+
+    def run(self, until: float) -> float:
+        heap = self._heap
+        ready = self._ready
+        pop = heapq.heappop
+        popleft = ready.popleft
+        events = 0
+        peak_ready = self.peak_ready_depth
+        now = self.now
+        try:
+            while True:
+                if ready:
+                    depth = len(ready)
+                    if depth > peak_ready:
+                        peak_ready = depth
+                    # Telemetry only: cohorts are counted by their depth
+                    # at entry (a lower-bound sample — same-instant
+                    # chains appended mid-drain are not re-counted).
+                    events += depth
+                    # The drain is unconditional: no timed entry can
+                    # become due while the clock is parked (every push
+                    # site raises EngineFallback if its strictly
+                    # positive delay would vanish into the current
+                    # instant), so the reference engine's after-each-
+                    # callback heap probe is provably a no-op here —
+                    # the heap is consulted only once per clock
+                    # advance, not once per event.
+                    # Entries are (cb, value) wakes or (cb1, v1, cb2,
+                    # v2) fused pairs — two wakes appended back-to-back
+                    # with nothing between them, dispatched in order.
+                    while ready:
+                        e = popleft()
+                        if len(e) == 2:
+                            e[0](e[1])
+                        else:
+                            e[0](e[1])
+                            e[2](e[3])
+                if not heap:
+                    break
+                time = heap[0][0]
+                if time > until:
+                    self.now = until
+                    return until
+                now = time
+                self.now = time
+                # Run every timed entry due at the new instant before
+                # the ready cohort they wake — the reference ordering.
+                # Later heap entries can share this timestamp (pushed
+                # from earlier instants), so this is a loop.
+                while heap and heap[0][0] <= now:
+                    _t, _s, cb, args = pop(heap)
+                    events += 1
+                    cb(*args)
+            return now
+        finally:
+            self.events_processed += events
+            self.peak_ready_depth = peak_ready
+
+
+class TurboQueue(SimQueue):
+    """A :class:`SimQueue` whose zero-delay wakes skip ``schedule()``.
+
+    ``_put``/``_get`` are verbatim transcriptions of the parent methods
+    with ``sim.schedule(0.0, cb, *args)`` replaced by the equivalent
+    ``sim._ready.append((cb, value))`` — the exact rewrite ``schedule``
+    itself performs for zero delays — and the ``_track`` occupancy
+    update inlined. Callers pass the continuation callable to wake
+    (rather than a process whose ``.resume`` is read per wake), and
+    handoff wake pairs are appended fused. Counters, occupancy
+    tracking, and blocking semantics stay float-op-for-float-op
+    identical.
+    """
+
+    #: ``_n`` mirrors ``len(self.items)`` (only ``_put``/``_get`` mutate
+    #: the deque) so the hot paths read one slot instead of calling len.
+    __slots__ = ("_n",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._n = 0
+
+    def _put(self, resume, item) -> None:
+        if self.closed:
+            raise SimulationError(f"put on closed queue {self.name!r}")
+        sim = self.sim
+        now = sim.now
+        n = self._n
+        last = self._occ_last_t
+        if now != last:
+            self._occ_integral += n * (now - last)
+            self._occ_last_t = now
+        self.total_puts += 1
+        getters = self._getters
+        if getters:
+            sim._ready.append((getters.popleft(), item, resume, None))
+        else:
+            if n < self.capacity:
+                self.items.append(item)
+                n += 1
+                self._n = n
+                if n > self.peak_occupancy:
+                    self.peak_occupancy = n
+                sim._ready.append((resume, None))
+            else:
+                self._putters.append((resume, item))
+
+    def _get(self, resume) -> None:
+        sim = self.sim
+        now = sim.now
+        items = self.items
+        last = self._occ_last_t
+        if now != last:
+            self._occ_integral += self._n * (now - last)
+            self._occ_last_t = now
+        self.total_gets += 1
+        if items:
+            item = items.popleft()
+            putters = self._putters
+            if putters:
+                putter, pending = putters.popleft()
+                items.append(pending)
+                sim._ready.append((putter, None, resume, item))
+            else:
+                self._n -= 1
+                sim._ready.append((resume, item))
+        elif self._putters:
+            # capacity reached with direct handoff pending
+            putter, pending = self._putters.popleft()
+            sim._ready.append((putter, None, resume, pending))
+        elif self.closed:
+            sim._ready.append((resume, EOS))
+        else:
+            self._getters.append(resume)
+
+    def close(self) -> None:
+        # Parent close() expects parked *processes* (it reads
+        # ``.resume`` at wake time); this queue parks the continuation
+        # callables themselves, so the wakes are re-issued in the same
+        # order with the parked callable directly. schedule(0.0, ...)
+        # is a ready append, so ordering matches the parent verbatim.
+        if self.closed:
+            return
+        self.closed = True
+        ready = self.sim._ready
+        getters = self._getters
+        while getters:
+            ready.append((getters.popleft(), EOS))
+        putters = self._putters
+        while putters:
+            putter, _pending = putters.popleft()
+            ready.append((putter, EOS))
+
+
+class TurboCores(CoreScheduler):
+    """A :class:`CoreScheduler` whose completion wakes skip ``schedule()``.
+
+    Timed service completions still go through the heap (they must) via
+    the inlined push ``schedule`` would perform; only the zero-delay
+    grant/finish resumes take the direct append. The busy-integral
+    update is the parent ``_track`` body inlined.
+    """
+
+    __slots__ = ("_k_finish",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._k_finish = self._finish
+
+    def submit(self, resume, seconds: float, width: float) -> None:
+        if width > self.capacity:
+            width = self.capacity
+        if seconds < 0:
+            raise SimulationError(f"negative compute time {seconds}")
+        if seconds == 0:
+            self.sim._ready.append((resume, None))
+            return
+        if self.free >= width and not self._waiting:
+            # _start inlined (the no-contention fast path)
+            sim = self.sim
+            now = sim.now
+            last = self._busy_last_t
+            if now != last:
+                self._busy_integral += (self.capacity - self.free) * (now - last)
+                self._busy_last_t = now
+            self.free -= width
+            t = now + seconds * self.penalty
+            if t <= now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self._k_finish, (resume, width)))
+        else:
+            self._waiting.append((resume, seconds, width))
+
+    def _start(self, resume, seconds: float, width: float) -> None:
+        sim = self.sim
+        now = sim.now
+        last = self._busy_last_t
+        if now != last:
+            self._busy_integral += (self.capacity - self.free) * (now - last)
+            self._busy_last_t = now
+        self.free -= width
+        t = now + seconds * self.penalty
+        if t <= now:
+            raise EngineFallback
+        sim._seq += 1
+        _push(sim._heap, (t, sim._seq, self._k_finish, (resume, width)))
+
+    def _finish(self, resume, width: float) -> None:
+        sim = self.sim
+        now = sim.now
+        last = self._busy_last_t
+        if now != last:
+            self._busy_integral += (self.capacity - self.free) * (now - last)
+            self._busy_last_t = now
+        self.free += width
+        sim._ready.append((resume, None))
+        waiting = self._waiting
+        while waiting and self.free >= waiting[0][2]:
+            waiting_resume, seconds, w = waiting.popleft()
+            self._start(waiting_resume, seconds, w)
+
+
+# ----------------------------------------------------------------------
+# Compiled worker tasks. Each class transcribes one generator from
+# repro.runtime.iterators; the float operations and resource calls are
+# kept in the generator's exact order so the event stream is identical.
+# Queues and cores receive the continuation *callable* to wake —
+# ``q._put(self.k_after_put, item)`` — so no ``.resume`` attribute is
+# read per wake. Only the disk (shared with the reference engine) still
+# wakes through ``task.resume``, so the ``resume`` slot is kept and set
+# before every disk call.
+# Continuations are bound once in __init__ (``k_*`` slots) so parking a
+# task is an attribute copy, not a bound-method allocation; items are
+# ``(count, nbytes)`` tuples; NodeStats updates are the method bodies
+# from repro.runtime.stats inlined unchanged.
+# ----------------------------------------------------------------------
+class _SourceTask:
+    """Compiled :func:`~repro.runtime.iterators.source_worker`."""
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "cursor", "granularity",
+        "read_cpu", "ov", "core_speed", "penalty", "remaining",
+        "per_record", "unread", "buffered", "n", "nbytes", "t_read",
+        "block", "svc", "item", "out_put", "disk_submit", "cores_submit",
+        "k_after_read", "k_after_overhead", "k_after_compute",
+        "k_after_put",
+    )
+
+    def __init__(self, node, cursor, out_q, state, ctx, stats, granularity):
+        sim = ctx.sim
+        self.sim = sim
+        self.stats = stats
+        self.state = state
+        self.cursor = cursor
+        self.granularity = granularity
+        self.read_cpu = node.read_cpu_seconds_per_record
+        self.ov = ctx.overhead_per_element
+        self.core_speed = ctx.machine.core_speed
+        self.penalty = ctx.penalty
+        self.out_put = out_q._put
+        self.disk_submit = sim.disk.submit
+        self.cores_submit = sim.cores.submit
+        self.remaining = 0
+        self.k_after_read = self._after_read
+        self.k_after_overhead = self._after_overhead
+        self.k_after_compute = self._after_compute
+        self.k_after_put = self._after_put
+        self.resume = self.start
+
+    def start(self, value=None):
+        self._chunk_loop()
+
+    def _chunk_loop(self):
+        while self.remaining <= 0:
+            f = self.cursor.next_file()
+            if f is None:
+                self.state.worker_done()
+                return
+            st = self.stats
+            size = f.size_bytes
+            if st.files_seen_count < st.files_seen_cap:
+                st.files_seen_sizes.append(size)
+            st.files_seen_count += 1
+            st.files_seen_bytes += size
+            self.remaining = f.num_records
+            self.per_record = f.bytes_per_record
+            self.unread = size
+            self.buffered = 0.0
+        n = min(self.granularity, self.remaining)
+        self.remaining -= n
+        nbytes = n * self.per_record
+        self.n = n
+        self.nbytes = nbytes
+        if self.buffered < nbytes and self.unread > 0:
+            block = min(max(nbytes, READ_BLOCK_BYTES), self.unread)
+            self.block = block
+            self.t_read = self.sim.now
+            self.resume = self.k_after_read
+            self.disk_submit(self, block)
+            return
+        self._post_read()
+
+    def _after_read(self, value=None):
+        st = self.stats
+        st.io_seconds += self.sim.now - self.t_read
+        block = self.block
+        st.bytes_read += block
+        self.unread -= block
+        self.buffered += block
+        self._post_read()
+
+    def _post_read(self):
+        self.buffered -= self.nbytes
+        o = self.ov * self.n
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_after_overhead, ()))
+            return
+        self._after_overhead()
+
+    def _after_overhead(self, value=None):
+        if self.read_cpu > 0:
+            svc = self.read_cpu * self.n / self.core_speed
+            self.svc = svc
+            self.cores_submit(self.k_after_compute, svc, 1.0)
+            return
+        n = self.n
+        self.stats.elements_consumed += n
+        item = (float(n), self.nbytes)
+        self.item = item
+        self.out_put(self.k_after_put, item)
+
+    def _after_compute(self, value=None):
+        self.stats.cpu_core_seconds += self.svc * self.penalty
+        n = self.n
+        self.stats.elements_consumed += n
+        item = (float(n), self.nbytes)
+        self.item = item
+        self.out_put(self.k_after_put, item)
+
+    def _after_put(self, value=None):
+        item = self.item
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += item[0]
+        st.bytes_produced += item[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self._chunk_loop()
+
+
+class _MapTask:
+    """Compiled :func:`~repro.runtime.iterators.map_worker`."""
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "in_get", "out_put",
+        "cores_submit", "cpu_seconds", "width", "ratio", "fixed_out",
+        "size_ratio", "ov", "core_speed", "penalty", "item", "svc",
+        "out", "k_on_item", "k_after_overhead", "k_after_compute",
+        "k_after_put",
+    )
+
+    def __init__(self, node, in_q, out_q, state, ctx, stats):
+        sim = ctx.sim
+        self.sim = sim
+        self.stats = stats
+        self.state = state
+        self.in_get = in_q._get
+        self.out_put = out_q._put
+        self.cores_submit = sim.cores.submit
+        udf = node.udf
+        self.cpu_seconds = udf.cost.cpu_seconds
+        self.width = udf.cost.internal_parallelism
+        self.ratio = udf.examples_ratio
+        out_b = udf.output_bytes
+        self.fixed_out = float(out_b) if out_b is not None else None
+        self.size_ratio = udf.size_ratio
+        self.ov = ctx.overhead_per_element
+        self.core_speed = ctx.machine.core_speed
+        self.penalty = ctx.penalty
+        self.k_on_item = self._on_item
+        self.k_after_overhead = self._after_overhead
+        self.k_after_compute = self._after_compute
+        self.k_after_put = self._after_put
+        self.resume = self.start
+
+    def start(self, value=None):
+        self.in_get(self.k_on_item)
+
+    def _on_item(self, item):
+        if item is EOS:
+            self.state.worker_done()
+            return
+        count = item[0]
+        self.stats.elements_consumed += count
+        self.item = item
+        o = self.ov * count
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_after_overhead, ()))
+            return
+        self._after_overhead()
+
+    def _after_overhead(self, value=None):
+        if self.cpu_seconds > 0:
+            svc = self.cpu_seconds * self.item[0] / self.core_speed
+            self.svc = svc
+            self.cores_submit(self.k_after_compute, svc, self.width)
+            return
+        self._emit()
+
+    def _after_compute(self, value=None):
+        self.stats.cpu_core_seconds += self.svc * self.width * self.penalty
+        self._emit()
+
+    def _emit(self):
+        item = self.item
+        count = item[0]
+        out_count = count * self.ratio
+        # udf.output_size(item.bytes_per_element), properties unrolled
+        bpe = item[1] / count if count > 0 else 0.0
+        fixed = self.fixed_out
+        ob = fixed if fixed is not None else bpe * self.size_ratio
+        out_bytes = ob * out_count
+        if out_count > 0:
+            out = (out_count, out_bytes)
+            self.out = out
+            self.out_put(self.k_after_put, out)
+            return
+        self.in_get(self.k_on_item)
+
+    def _after_put(self, value=None):
+        out = self.out
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += out[0]
+        st.bytes_produced += out[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self.in_get(self.k_on_item)
+
+
+class _FilterTask:
+    """Compiled :func:`~repro.runtime.iterators.filter_worker`."""
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "in_get", "out_put",
+        "cores_submit", "cpu_seconds", "keep", "ov", "core_speed",
+        "penalty", "item", "svc", "out", "k_on_item", "k_after_overhead",
+        "k_after_compute", "k_after_put",
+    )
+
+    def __init__(self, node, in_q, out_q, state, ctx, stats):
+        sim = ctx.sim
+        self.sim = sim
+        self.stats = stats
+        self.state = state
+        self.in_get = in_q._get
+        self.out_put = out_q._put
+        self.cores_submit = sim.cores.submit
+        self.cpu_seconds = node.udf.cost.cpu_seconds
+        self.keep = node.keep_fraction
+        self.ov = ctx.overhead_per_element
+        self.core_speed = ctx.machine.core_speed
+        self.penalty = ctx.penalty
+        self.k_on_item = self._on_item
+        self.k_after_overhead = self._after_overhead
+        self.k_after_compute = self._after_compute
+        self.k_after_put = self._after_put
+        self.resume = self.start
+
+    def start(self, value=None):
+        self.in_get(self.k_on_item)
+
+    def _on_item(self, item):
+        if item is EOS:
+            self.state.worker_done()
+            return
+        count = item[0]
+        self.stats.elements_consumed += count
+        self.item = item
+        o = self.ov * count
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_after_overhead, ()))
+            return
+        self._after_overhead()
+
+    def _after_overhead(self, value=None):
+        if self.cpu_seconds > 0:
+            svc = self.cpu_seconds * self.item[0] / self.core_speed
+            self.svc = svc
+            self.cores_submit(self.k_after_compute, svc, 1.0)
+            return
+        self._emit()
+
+    def _after_compute(self, value=None):
+        self.stats.cpu_core_seconds += self.svc * self.penalty
+        self._emit()
+
+    def _emit(self):
+        item = self.item
+        keep = self.keep
+        out_count = item[0] * keep
+        out_bytes = item[1] * keep
+        if out_count > 0:
+            out = (out_count, out_bytes)
+            self.out = out
+            self.out_put(self.k_after_put, out)
+            return
+        self.in_get(self.k_on_item)
+
+    def _after_put(self, value=None):
+        out = self.out
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += out[0]
+        st.bytes_produced += out[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self.in_get(self.k_on_item)
+
+
+class _BatchTask:
+    """Compiled :func:`~repro.runtime.iterators.batch_worker`."""
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "in_get", "out_put",
+        "cores_submit", "batch", "cpu_seconds", "ov", "core_speed",
+        "penalty", "item", "out_count", "svc", "out", "k_on_item",
+        "k_after_overhead", "k_after_compute", "k_after_put",
+    )
+
+    def __init__(self, node, in_q, out_q, state, ctx, stats):
+        sim = ctx.sim
+        self.sim = sim
+        self.stats = stats
+        self.state = state
+        self.in_get = in_q._get
+        self.out_put = out_q._put
+        self.cores_submit = sim.cores.submit
+        self.batch = node.batch_size
+        self.cpu_seconds = node.cpu_seconds_per_example
+        self.ov = ctx.overhead_per_element
+        self.core_speed = ctx.machine.core_speed
+        self.penalty = ctx.penalty
+        self.k_on_item = self._on_item
+        self.k_after_overhead = self._after_overhead
+        self.k_after_compute = self._after_compute
+        self.k_after_put = self._after_put
+        self.resume = self.start
+
+    def start(self, value=None):
+        self.in_get(self.k_on_item)
+
+    def _on_item(self, item):
+        if item is EOS:
+            self.state.worker_done()
+            return
+        count = item[0]
+        self.stats.elements_consumed += count
+        self.item = item
+        # Overhead is paid per *output* element (one Next per batch).
+        out_count = count / self.batch
+        self.out_count = out_count
+        o = self.ov * out_count
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_after_overhead, ()))
+            return
+        self._after_overhead()
+
+    def _after_overhead(self, value=None):
+        if self.cpu_seconds > 0:
+            svc = self.cpu_seconds * self.item[0] / self.core_speed
+            self.svc = svc
+            self.cores_submit(self.k_after_compute, svc, 1.0)
+            return
+        self._emit()
+
+    def _after_compute(self, value=None):
+        self.stats.cpu_core_seconds += self.svc * self.penalty
+        self._emit()
+
+    def _emit(self):
+        out = (self.out_count, self.item[1])
+        self.out = out
+        self.out_put(self.k_after_put, out)
+
+    def _after_put(self, value=None):
+        out = self.out
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += out[0]
+        st.bytes_produced += out[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self.in_get(self.k_on_item)
+
+
+class _ShuffleTask:
+    """Compiled :func:`~repro.runtime.iterators.shuffle_worker`."""
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "in_get", "out_put",
+        "cores_submit", "cpu_seconds", "ov", "core_speed", "penalty",
+        "item", "svc", "k_on_item", "k_after_overhead",
+        "k_after_compute", "k_after_put",
+    )
+
+    def __init__(self, node, in_q, out_q, state, ctx, stats):
+        sim = ctx.sim
+        self.sim = sim
+        self.stats = stats
+        self.state = state
+        self.in_get = in_q._get
+        self.out_put = out_q._put
+        self.cores_submit = sim.cores.submit
+        self.cpu_seconds = node.cpu_seconds_per_element
+        self.ov = ctx.overhead_per_element
+        self.core_speed = ctx.machine.core_speed
+        self.penalty = ctx.penalty
+        self.k_on_item = self._on_item
+        self.k_after_overhead = self._after_overhead
+        self.k_after_compute = self._after_compute
+        self.k_after_put = self._after_put
+        self.resume = self.start
+
+    def start(self, value=None):
+        self.in_get(self.k_on_item)
+
+    def _on_item(self, item):
+        if item is EOS:
+            self.state.worker_done()
+            return
+        count = item[0]
+        self.stats.elements_consumed += count
+        self.item = item
+        o = self.ov * count
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_after_overhead, ()))
+            return
+        self._after_overhead()
+
+    def _after_overhead(self, value=None):
+        if self.cpu_seconds > 0:
+            svc = self.cpu_seconds * self.item[0] / self.core_speed
+            self.svc = svc
+            self.cores_submit(self.k_after_compute, svc, 1.0)
+            return
+        self.out_put(self.k_after_put, self.item)
+
+    def _after_compute(self, value=None):
+        self.stats.cpu_core_seconds += self.svc * self.penalty
+        self.out_put(self.k_after_put, self.item)
+
+    def _after_put(self, value=None):
+        item = self.item
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += item[0]
+        st.bytes_produced += item[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self.in_get(self.k_on_item)
+
+
+class _PassthroughTask:
+    """Compiled :func:`~repro.runtime.iterators.passthrough_worker`."""
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "in_get", "out_put", "ov",
+        "item", "k_on_item", "k_forward", "k_after_put",
+    )
+
+    def __init__(self, node, in_q, out_q, state, ctx, stats):
+        self.sim = ctx.sim
+        self.stats = stats
+        self.state = state
+        self.in_get = in_q._get
+        self.out_put = out_q._put
+        self.ov = ctx.overhead_per_element
+        self.k_on_item = self._on_item
+        self.k_forward = self._forward
+        self.k_after_put = self._after_put
+        self.resume = self.start
+
+    def start(self, value=None):
+        self.in_get(self.k_on_item)
+
+    def _on_item(self, item):
+        if item is EOS:
+            self.state.worker_done()
+            return
+        count = item[0]
+        self.stats.elements_consumed += count
+        self.item = item
+        o = self.ov * count
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_forward, ()))
+            return
+        self._forward()
+
+    def _forward(self, value=None):
+        self.out_put(self.k_after_put, self.item)
+
+    def _after_put(self, value=None):
+        item = self.item
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += item[0]
+        st.bytes_produced += item[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self.in_get(self.k_on_item)
+
+
+class _TakeTask:
+    """Compiled :func:`~repro.runtime.iterators.take_worker`."""
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "in_get", "out_put",
+        "remaining", "ov", "item", "emit", "out", "k_on_item",
+        "k_after_overhead", "k_after_put",
+    )
+
+    def __init__(self, node, in_q, out_q, state, ctx, stats):
+        self.sim = ctx.sim
+        self.stats = stats
+        self.state = state
+        self.in_get = in_q._get
+        self.out_put = out_q._put
+        self.remaining = float(node.count)
+        self.ov = ctx.overhead_per_element
+        self.k_on_item = self._on_item
+        self.k_after_overhead = self._after_overhead
+        self.k_after_put = self._after_put
+        self.resume = self.start
+
+    def start(self, value=None):
+        self._next()
+
+    def _next(self):
+        if self.remaining > 0:
+            self.in_get(self.k_on_item)
+            return
+        self.state.worker_done()
+
+    def _on_item(self, item):
+        if item is EOS:
+            self.state.worker_done()
+            return
+        count = item[0]
+        self.stats.elements_consumed += count
+        emit = min(count, self.remaining)
+        self.remaining -= emit
+        self.item = item
+        self.emit = emit
+        o = self.ov * emit
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_after_overhead, ()))
+            return
+        self._after_overhead()
+
+    def _after_overhead(self, value=None):
+        item = self.item
+        emit = self.emit
+        frac = emit / item[0] if item[0] > 0 else 0.0
+        out = (emit, item[1] * frac)
+        self.out = out
+        self.out_put(self.k_after_put, out)
+
+    def _after_put(self, value=None):
+        out = self.out
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += out[0]
+        st.bytes_produced += out[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self._next()
+
+
+class _CacheTask:
+    """Compiled :func:`~repro.runtime.iterators.cache_worker`.
+
+    The serve phase is where the chunk-replay optimization lives: at
+    steady state every pass replays the same chunk pattern, so the
+    per-chunk deltas (framework overhead, scaled service time, the CPU
+    counter increment) are computed in closed form once per run of
+    equal-sized chunks and replayed from cached floats. Multiplication
+    of identical operands is deterministic, so the replayed pattern is
+    bit-identical to recomputing it chunk by chunk.
+    """
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "in_get", "out_put",
+        "cores_submit", "cache_bytes_map", "memory_limit", "name",
+        "read_cpu", "ov", "core_speed", "penalty", "serve_epochs",
+        "stored", "stored_bytes", "item", "epoch", "idx",
+        "_rl_count", "_rl_o", "_rl_svc", "_rl_cpu",
+        "k_on_populate_item", "k_populate_forward", "k_after_populate_put",
+        "k_serve_after_overhead", "k_serve_after_compute",
+        "k_serve_after_put",
+    )
+
+    def __init__(self, node, in_q, out_q, state, ctx, stats, serve_epochs):
+        sim = ctx.sim
+        self.sim = sim
+        self.stats = stats
+        self.state = state
+        self.in_get = in_q._get
+        self.out_put = out_q._put
+        self.cores_submit = sim.cores.submit
+        self.cache_bytes_map = ctx.cache_bytes
+        self.memory_limit = ctx.memory_limit_bytes
+        self.name = node.name
+        self.read_cpu = node.read_cpu_seconds_per_element
+        self.ov = ctx.overhead_per_element
+        self.core_speed = ctx.machine.core_speed
+        self.penalty = ctx.penalty
+        self.serve_epochs = serve_epochs
+        self.stored: list = []
+        self.stored_bytes = 0.0
+        self._rl_count = -1.0  # sentinel: no chunk size cached yet
+        self._rl_o = 0.0
+        self._rl_svc = 0.0
+        self._rl_cpu = 0.0
+        self.k_on_populate_item = self._on_populate_item
+        self.k_populate_forward = self._populate_forward
+        self.k_after_populate_put = self._after_populate_put
+        self.k_serve_after_overhead = self._serve_after_overhead
+        self.k_serve_after_compute = self._serve_after_compute
+        self.k_serve_after_put = self._serve_after_put
+        self.resume = self.start
+
+    # -- populate pass: forward while recording -------------------------
+    def start(self, value=None):
+        self.in_get(self.k_on_populate_item)
+
+    def _on_populate_item(self, item):
+        if item is EOS:
+            self._begin_serve()
+            return
+        count = item[0]
+        self.stats.elements_consumed += count
+        self.stored.append(item)
+        self.stored_bytes += item[1]
+        self.cache_bytes_map[self.name] = self.stored_bytes
+        if self.stored_bytes > self.memory_limit:
+            # The generator's ``finally`` runs worker_done before the
+            # error propagates; mirror that side effect.
+            self.state.worker_done()
+            raise SimulationError(
+                f"cache {self.name!r} exceeded memory limit: "
+                f"{self.stored_bytes / 1e9:.1f} GB > "
+                f"{self.memory_limit / 1e9:.1f} GB"
+            )
+        self.item = item
+        o = self.ov * count
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_populate_forward, ()))
+            return
+        self._populate_forward()
+
+    def _populate_forward(self, value=None):
+        self.out_put(self.k_after_populate_put, self.item)
+
+    def _after_populate_put(self, value=None):
+        item = self.item
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += item[0]
+        st.bytes_produced += item[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self.in_get(self.k_on_populate_item)
+
+    # -- serve passes: replay from memory at memory-copy cost -----------
+    def _begin_serve(self):
+        self.epoch = 0.0
+        self._next_pass()
+
+    def _next_pass(self):
+        if self.epoch < self.serve_epochs and self.stored:
+            self.epoch += 1.0
+            self.idx = 0
+            self._serve_chunk()
+            return
+        self.state.worker_done()
+
+    def _serve_chunk(self):
+        item = self.stored[self.idx]
+        count = item[0]
+        if count != self._rl_count:
+            # Closed-form per-chunk deltas for this run of chunk sizes.
+            self._rl_count = count
+            self._rl_o = self.ov * count
+            if self.read_cpu > 0:
+                svc = self.read_cpu * count / self.core_speed
+                self._rl_svc = svc
+                self._rl_cpu = svc * self.penalty
+        self.item = item
+        o = self._rl_o
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_serve_after_overhead, ()))
+            return
+        self._serve_after_overhead()
+
+    def _serve_after_overhead(self, value=None):
+        if self.read_cpu > 0:
+            self.cores_submit(self.k_serve_after_compute, self._rl_svc, 1.0)
+            return
+        self.out_put(self.k_serve_after_put, self.item)
+
+    def _serve_after_compute(self, value=None):
+        self.stats.cpu_core_seconds += self._rl_cpu
+        self.out_put(self.k_serve_after_put, self.item)
+
+    def _serve_after_put(self, value=None):
+        item = self.item
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += item[0]
+        st.bytes_produced += item[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        idx = self.idx + 1
+        self.idx = idx
+        if idx < len(self.stored):
+            self._serve_chunk()
+            return
+        self._next_pass()
+
+
+class _ZipTask:
+    """Compiled :func:`~repro.runtime.iterators.zip_worker`."""
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "in_gets", "out_put",
+        "cores_submit", "k", "cpu_seconds", "ov", "core_speed",
+        "penalty", "buf_count", "buf_bytes", "i", "emit", "out_bytes",
+        "svc", "out", "k_on_refill", "k_after_overhead",
+        "k_after_compute", "k_after_put",
+    )
+
+    def __init__(self, node, in_qs, out_q, state, ctx, stats):
+        sim = ctx.sim
+        self.sim = sim
+        self.stats = stats
+        self.state = state
+        self.in_gets = [q._get for q in in_qs]
+        self.out_put = out_q._put
+        self.cores_submit = sim.cores.submit
+        self.k = len(in_qs)
+        self.cpu_seconds = node.cpu_seconds_per_element
+        self.ov = ctx.overhead_per_element
+        self.core_speed = ctx.machine.core_speed
+        self.penalty = ctx.penalty
+        self.buf_count = [0.0] * self.k
+        self.buf_bytes = [0.0] * self.k
+        self.i = 0
+        self.k_on_refill = self._on_refill
+        self.k_after_overhead = self._after_overhead
+        self.k_after_compute = self._after_compute
+        self.k_after_put = self._after_put
+        self.resume = self.start
+
+    def start(self, value=None):
+        self.i = 0
+        self._refill_loop()
+
+    def _refill_loop(self):
+        # Refill every drained branch; first EOS ends the stream.
+        i = self.i
+        buf_count = self.buf_count
+        while i < self.k:
+            if buf_count[i] <= 0:
+                self.i = i
+                self.in_gets[i](self.k_on_refill)
+                return
+            i += 1
+        self._emit_phase()
+
+    def _on_refill(self, item):
+        if item is EOS:
+            self.state.worker_done()
+            return
+        count = item[0]
+        self.stats.elements_consumed += count
+        i = self.i
+        self.buf_count[i] += count
+        self.buf_bytes[i] += item[1]
+        self._refill_loop()
+
+    def _emit_phase(self):
+        buf_count = self.buf_count
+        buf_bytes = self.buf_bytes
+        emit = min(buf_count)
+        out_bytes = 0.0
+        for i in range(self.k):
+            share = emit / buf_count[i]
+            out_bytes += buf_bytes[i] * share
+            buf_bytes[i] -= buf_bytes[i] * share
+            buf_count[i] -= emit
+        self.emit = emit
+        self.out_bytes = out_bytes
+        o = self.ov * emit
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_after_overhead, ()))
+            return
+        self._after_overhead()
+
+    def _after_overhead(self, value=None):
+        if self.cpu_seconds > 0:
+            svc = self.cpu_seconds * self.emit / self.core_speed
+            self.svc = svc
+            self.cores_submit(self.k_after_compute, svc, 1.0)
+            return
+        self._emit()
+
+    def _after_compute(self, value=None):
+        self.stats.cpu_core_seconds += self.svc * self.penalty
+        self._emit()
+
+    def _emit(self):
+        out = (self.emit, self.out_bytes)
+        self.out = out
+        self.out_put(self.k_after_put, out)
+
+    def _after_put(self, value=None):
+        out = self.out
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += out[0]
+        st.bytes_produced += out[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self.i = 0
+        self._refill_loop()
+
+
+class _InterleaveTask:
+    """Compiled :func:`~repro.runtime.iterators.interleave_worker`."""
+
+    __slots__ = (
+        "resume", "sim", "stats", "state", "in_gets", "out_put",
+        "cores_submit", "k", "weights", "cpu_seconds", "ov",
+        "core_speed", "penalty", "served", "best", "item", "svc",
+        "k_on_item", "k_after_overhead", "k_after_compute",
+        "k_after_put",
+    )
+
+    def __init__(self, node, in_qs, out_q, state, ctx, stats):
+        sim = ctx.sim
+        self.sim = sim
+        self.stats = stats
+        self.state = state
+        self.in_gets = [q._get for q in in_qs]
+        self.out_put = out_q._put
+        self.cores_submit = sim.cores.submit
+        self.k = len(in_qs)
+        self.weights = node.weights
+        self.cpu_seconds = node.cpu_seconds_per_element
+        self.ov = ctx.overhead_per_element
+        self.core_speed = ctx.machine.core_speed
+        self.penalty = ctx.penalty
+        self.served = [0.0] * self.k
+        self.k_on_item = self._on_item
+        self.k_after_overhead = self._after_overhead
+        self.k_after_compute = self._after_compute
+        self.k_after_put = self._after_put
+        self.resume = self.start
+
+    def start(self, value=None):
+        self._pick()
+
+    def _pick(self):
+        served = self.served
+        weights = self.weights
+        best = min(range(self.k), key=lambda i: served[i] / weights[i])
+        self.best = best
+        self.in_gets[best](self.k_on_item)
+
+    def _on_item(self, item):
+        if item is EOS:
+            self.state.worker_done()
+            return
+        count = item[0]
+        self.stats.elements_consumed += count
+        self.served[self.best] += count
+        self.item = item
+        o = self.ov * count
+        if o > 0:
+            self.stats.overhead_seconds += o
+            sim = self.sim
+            t = sim.now + o
+            if t <= sim.now:
+                raise EngineFallback
+            sim._seq += 1
+            _push(sim._heap, (t, sim._seq, self.k_after_overhead, ()))
+            return
+        self._after_overhead()
+
+    def _after_overhead(self, value=None):
+        if self.cpu_seconds > 0:
+            svc = self.cpu_seconds * self.item[0] / self.core_speed
+            self.svc = svc
+            self.cores_submit(self.k_after_compute, svc, 1.0)
+            return
+        self.out_put(self.k_after_put, self.item)
+
+    def _after_compute(self, value=None):
+        self.stats.cpu_core_seconds += self.svc * self.penalty
+        self.out_put(self.k_after_put, self.item)
+
+    def _after_put(self, value=None):
+        item = self.item
+        st = self.stats
+        now = self.sim.now
+        st.elements_produced += item[0]
+        st.bytes_produced += item[1]
+        if st.first_output_time is None:
+            st.first_output_time = now
+        st.last_output_time = now
+        self._pick()
+
+
+class VectorConsumer:
+    """Compiled :class:`repro.runtime.executor._Consumer`."""
+
+    __slots__ = (
+        "resume", "sim", "root_get", "step_per_element", "elements",
+        "wait_seconds", "done", "t0", "k_on_item", "k_next",
+    )
+
+    def __init__(self, sim, root_q, step_per_element: float):
+        self.sim = sim
+        self.root_get = root_q._get
+        self.step_per_element = step_per_element
+        self.elements = 0.0
+        self.wait_seconds = 0.0
+        self.done = False
+        self.k_on_item = self._on_item
+        self.k_next = self._next
+        self.resume = self.start
+
+    def start(self, value=None):
+        self._next()
+
+    def _next(self, value=None):
+        self.t0 = self.sim.now
+        self.root_get(self.k_on_item)
+
+    def _on_item(self, item):
+        if item is EOS:
+            self.done = True
+            return
+        sim = self.sim
+        now = sim.now
+        self.wait_seconds += now - self.t0
+        count = item[0]
+        self.elements += count
+        step = self.step_per_element
+        if step > 0:
+            d = step * count
+            # mirror schedule(): a zero delay joins the ready FIFO
+            if d == 0.0:
+                sim._ready.append((self.k_next, None))
+            else:
+                t = now + d
+                if t <= now:
+                    raise EngineFallback
+                sim._seq += 1
+                _push(sim._heap, (t, sim._seq, self.k_next, ()))
+            return
+        self.t0 = now
+        self.root_get(self.k_on_item)
+
+    def snapshot(self) -> tuple:
+        return (self.elements, self.wait_seconds)
+
+
+def build_vector_stage(
+    node: DatasetNode,
+    in_qs: Optional[List[SimQueue]],
+    out_q: SimQueue,
+    ctx: ExecContext,
+    stats: NodeStats,
+    *,
+    cursor: Optional[FileCursor] = None,
+    granularity: int = 1,
+    serve_epochs: float = 0.0,
+) -> list:
+    """Instantiate the compiled tasks for ``node``.
+
+    Mirrors :func:`repro.runtime.iterators.build_stage` exactly — same
+    worker counts, same shared :class:`StageState`, same queue fan-in —
+    but returns task objects whose ``start`` methods are scheduled
+    instead of generators to spawn.
+    """
+    if isinstance(node, InterleaveSourceNode):
+        workers = node.effective_parallelism
+        state = StageState(out_q, workers)
+        assert cursor is not None
+        return [
+            _SourceTask(node, cursor, out_q, state, ctx, stats, granularity)
+            for _ in range(workers)
+        ]
+    assert in_qs is not None
+    if isinstance(node, ZipNode):
+        state = StageState(out_q, 1)
+        return [_ZipTask(node, list(in_qs), out_q, state, ctx, stats)]
+    if isinstance(node, InterleaveDatasetsNode):
+        state = StageState(out_q, 1)
+        return [_InterleaveTask(node, list(in_qs), out_q, state, ctx, stats)]
+    in_q = in_qs[0]
+    if isinstance(node, MapNode):
+        workers = node.effective_parallelism
+        state = StageState(out_q, workers)
+        return [
+            _MapTask(node, in_q, out_q, state, ctx, stats)
+            for _ in range(workers)
+        ]
+    if isinstance(node, BatchNode):
+        workers = node.effective_parallelism
+        state = StageState(out_q, workers)
+        return [
+            _BatchTask(node, in_q, out_q, state, ctx, stats)
+            for _ in range(workers)
+        ]
+    if isinstance(node, FilterNode):
+        state = StageState(out_q, 1)
+        return [_FilterTask(node, in_q, out_q, state, ctx, stats)]
+    if isinstance(node, ShuffleNode):  # includes ShuffleAndRepeatNode
+        state = StageState(out_q, 1)
+        return [_ShuffleTask(node, in_q, out_q, state, ctx, stats)]
+    if isinstance(node, TakeNode):
+        state = StageState(out_q, 1)
+        return [_TakeTask(node, in_q, out_q, state, ctx, stats)]
+    if isinstance(node, CacheNode):
+        state = StageState(out_q, 1)
+        return [
+            _CacheTask(node, in_q, out_q, state, ctx, stats, serve_epochs)
+        ]
+    if isinstance(node, (RepeatNode, PrefetchNode)):
+        state = StageState(out_q, 1)
+        return [_PassthroughTask(node, in_q, out_q, state, ctx, stats)]
+    raise TypeError(f"no vectorized implementation for node kind {node.kind!r}")

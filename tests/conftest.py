@@ -4,6 +4,25 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regenerate-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Recapture tests/golden/ from the reference engine instead "
+            "of comparing against it. The regeneration run still "
+            "asserts the vectorized engine matches the fresh capture."
+        ),
+    )
+
+
+@pytest.fixture
+def regenerate_golden(request) -> bool:
+    """True when the suite was invoked with ``--regenerate-golden``."""
+    return request.config.getoption("--regenerate-golden")
+
 from repro.graph.builder import from_tfrecords
 from repro.graph.udf import CostModel, UserFunction
 from repro.host.disk import token_bucket

@@ -21,6 +21,8 @@ from repro.graph.udf import CostModel, UserFunction
 from repro.host.disk import DiskSpec
 from repro.io.filesystem import FileCatalog
 from repro.runtime.engine import Get, Put, SimQueue, Simulation
+from repro.runtime.executor import ModelConsumer, RunConfig
+from tests.engine_equivalence import fingerprint
 
 # ----------------------------------------------------------------------
 # Strategies
@@ -107,6 +109,23 @@ def dag_pipelines(draw):
     if draw(st.booleans()):
         ds = ds.repeat(None, name="repeat")
     return ds.build("dagprop", validate=True)
+
+
+@st.composite
+def run_configs(draw):
+    """Random :class:`RunConfig` kwargs (engine chosen by the test)."""
+    duration = draw(st.floats(0.05, 1.0))
+    cfg = {
+        "duration": duration,
+        "warmup": duration * draw(st.floats(0.0, 0.8)),
+    }
+    if draw(st.booleans()):
+        cfg["granularity"] = draw(st.integers(1, 8))
+    if draw(st.booleans()):
+        cfg["epochs"] = draw(st.floats(1.0, 3.0))
+    if draw(st.booleans()):
+        cfg["consumer"] = ModelConsumer(draw(st.floats(0.0, 5e-4)))
+    return cfg
 
 
 class TestCatalogProperties:
@@ -337,6 +356,42 @@ class TestQueueProperties:
         assert sorted(received) == sorted(
             (t, i) for t in range(n_prod) for i in range(per_prod)
         )
+
+
+class TestEngineEquivalence:
+    """The vectorized engine's contract, stressed on *random* programs:
+    for any pipeline and any run configuration, fast == reference
+    exactly — byte-identical trace JSON, equal NodeStats, equal queue
+    telemetry and consumer observables. The curated corpus in
+    ``tests/golden/`` pins known shapes; these properties hunt the
+    shapes nobody curated."""
+
+    @staticmethod
+    def _assert_engines_identical(pipeline, cfg):
+        # The strategies return built pipelines; each engine run gets
+        # its own clone via the serialization round-trip so neither run
+        # observes the other's node state.
+        data = pipeline_to_dict(pipeline)
+        ref = fingerprint(
+            pipeline_from_dict(data), RunConfig(engine="reference", **cfg)
+        )
+        vec = fingerprint(
+            pipeline_from_dict(data), RunConfig(engine="vectorized", **cfg)
+        )
+        assert vec["trace"] == ref["trace"]
+        assert vec == ref
+
+    @given(chain_pipelines(), run_configs())
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_chain_engines_byte_identical(self, pipeline, cfg):
+        self._assert_engines_identical(pipeline, cfg)
+
+    @given(dag_pipelines(), run_configs())
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_dag_engines_byte_identical(self, pipeline, cfg):
+        self._assert_engines_identical(pipeline, cfg)
 
 
 class TestSubsampleEstimator:

@@ -15,6 +15,16 @@ from repro.runtime.engine import (
     SimulationError,
     Timeout,
 )
+from repro.runtime.vector import VectorSimulation
+
+#: Both engines must honor the same event-ordering contract; the
+#: ordering tests below run against each. (VectorSimulation normalizes
+#: zero-delay callbacks to exactly one positional argument — ``None``
+#: when scheduled with no args — so shared callbacks take ``_=None``.)
+ENGINES = [Simulation, VectorSimulation]
+ENGINE_IDS = ["reference", "vectorized"]
+
+engines = pytest.mark.parametrize("sim_cls", ENGINES, ids=ENGINE_IDS)
 
 
 class TestEventLoop:
@@ -52,42 +62,48 @@ class TestEventLoop:
         sim.spawn(proc())
         assert sim.run(100.0) == 2.0
 
-    def test_deterministic_ordering_at_same_time(self):
-        sim = Simulation()
+    @engines
+    def test_deterministic_ordering_at_same_time(self, sim_cls):
+        sim = sim_cls()
         log = []
         sim.schedule(1.0, lambda: log.append("a"))
         sim.schedule(1.0, lambda: log.append("b"))
         sim.run(2.0)
         assert log == ["a", "b"]
 
-    def test_negative_delay_rejected(self):
+    @engines
+    def test_negative_delay_rejected(self, sim_cls):
         with pytest.raises(SimulationError):
-            Simulation().schedule(-1.0, lambda: None)
+            sim_cls().schedule(-1.0, lambda: None)
 
-    def test_zero_delay_bypasses_heap(self):
+    @engines
+    def test_zero_delay_bypasses_heap(self, sim_cls):
         """Batched resume scheduling: same-timestamp events live in the
         ready deque, not the heap (the hot-path optimization)."""
-        sim = Simulation()
-        sim.schedule(0.0, lambda: None)
+        sim = sim_cls()
+        sim.schedule(0.0, lambda _=None: None)
         assert not sim._heap
         assert len(sim._ready) == 1
         sim.schedule(0.5, lambda: None)
         assert len(sim._heap) == 1
 
-    def test_same_timestamp_resumes_drain_in_insertion_order(self):
-        sim = Simulation()
+    @engines
+    def test_same_timestamp_resumes_drain_in_insertion_order(self, sim_cls):
+        sim = sim_cls()
         log = []
         for tag in ("a", "b", "c"):
             sim.schedule(0.0, log.append, tag)
         sim.run(1.0)
         assert log == ["a", "b", "c"]
 
-    def test_timed_events_precede_resumes_born_at_their_timestamp(self):
+    @engines
+    def test_timed_events_precede_resumes_born_at_their_timestamp(
+            self, sim_cls):
         """Determinism contract: a heap entry due at time t was scheduled
         before the clock reached t, so it must run before any zero-delay
         event created *at* t — exactly the insertion-sequence order the
         pure-heap loop had."""
-        sim = Simulation()
+        sim = sim_cls()
         log = []
 
         def first_at_t():
@@ -99,8 +115,9 @@ class TestEventLoop:
         sim.run(2.0)
         assert log == ["timed1", "timed2", "ready"]
 
-    def test_ready_chain_drains_before_clock_advances(self):
-        sim = Simulation()
+    @engines
+    def test_ready_chain_drains_before_clock_advances(self, sim_cls):
+        sim = sim_cls()
         log = []
 
         def chain(depth):
@@ -113,8 +130,9 @@ class TestEventLoop:
         sim.run(2.0)
         assert log == [(0.0, 3), (0.0, 2), (0.0, 1), (0.0, 0), "later"]
 
-    def test_ready_drains_even_when_heap_is_empty(self):
-        sim = Simulation()
+    @engines
+    def test_ready_drains_even_when_heap_is_empty(self, sim_cls):
+        sim = sim_cls()
         log = []
         sim.schedule(0.0, log.append, "only")
         sim.run(10.0)
@@ -406,6 +424,100 @@ class TestCoreScheduler:
         sim.spawn(worker())
         sim.run(1.0)
         assert done == [0.0]
+
+
+class TestTelemetryWindowConsistency:
+    """Regression tests for the ``mean_occupancy``/``utilization``
+    normalization fix: both divide their time integral by elapsed time
+    since *creation*, and both fold the partial window up to the current
+    clock into the integral first — so a ``run(until=)`` that stops
+    mid-window reports the same telemetry as one stopping on an event
+    boundary at the same instant."""
+
+    def test_utilization_defaults_to_elapsed_since_creation(self):
+        sim = Simulation()
+        sim.cores = CoreScheduler(sim, capacity=2)
+
+        def worker():
+            yield Compute(5.0)
+
+        sim.spawn(worker())
+        # The event supply drains at t=5, so run() returns early and
+        # elapsed-since-creation is 5s: one core of two busy the whole
+        # elapsed window = 50%.
+        assert sim.run(10.0) == 5.0
+        assert sim.cores.utilization() == pytest.approx(0.5)
+        # Default == explicit duration of the elapsed window.
+        assert sim.cores.utilization() == pytest.approx(
+            sim.cores.utilization(sim.now)
+        )
+        # A caller-chosen wider window still normalizes against it.
+        assert sim.cores.utilization(10.0) == pytest.approx(0.25)
+
+    def test_utilization_mid_window_stop_counts_busy_tail(self):
+        """Stopping at t=4 inside a 5-core-second compute must count the
+        4 busy seconds already elapsed — not 0 (the pre-fix behavior of
+        an integral that only folded on event boundaries) and not the
+        full 5."""
+        sim = Simulation()
+        sim.cores = CoreScheduler(sim, capacity=1)
+
+        def worker():
+            yield Compute(5.0)
+
+        sim.spawn(worker())
+        assert sim.run(4.0) == 4.0  # mid-window: no event at t=4
+        assert sim.cores.utilization() == pytest.approx(1.0)
+        assert sim.cores.utilization(4.0) == pytest.approx(1.0)
+
+    def test_utilization_of_scheduler_created_mid_run(self):
+        """Same convention as SimQueue.mean_occupancy: a scheduler born
+        at t=90 that is busy for its whole 10s life is 100% utilized,
+        not 10%."""
+        sim = Simulation()
+        sim.schedule(90.0, lambda: None)
+        sim.run(95.0)
+        sim.cores = CoreScheduler(sim, capacity=1)
+
+        def worker():
+            yield Compute(10.0)
+
+        sim.spawn(worker())
+        sim.run(200.0)
+        assert sim.cores.utilization() == pytest.approx(1.0)
+
+    def test_mean_occupancy_mid_window_stop_counts_tail(self):
+        """One item parked in the queue from t=0; stopping mid-window at
+        t=7 (no event there) must still integrate the full 7 seconds of
+        occupancy, matching a stop on the t=10 event boundary."""
+        sim = Simulation()
+        q = SimQueue(sim, capacity=4)
+
+        def producer():
+            yield Put(q, 1)
+            yield Timeout(10.0)
+
+        sim.spawn(producer())
+        assert sim.run(7.0) == 7.0
+        assert q.mean_occupancy() == pytest.approx(1.0)
+
+    def test_queue_and_cores_agree_on_the_window(self):
+        """The two surfaces use one convention: with an item resident and
+        a core busy over the same span, both report 1.0 regardless of
+        where ``until`` lands."""
+        for until in (3.0, 4.5, 6.0):
+            sim = Simulation()
+            sim.cores = CoreScheduler(sim, capacity=1)
+            q = SimQueue(sim, capacity=4)
+
+            def producer():
+                yield Put(q, 1)
+                yield Compute(6.0)
+
+            sim.spawn(producer())
+            sim.run(until)
+            assert q.mean_occupancy() == pytest.approx(1.0), until
+            assert sim.cores.utilization() == pytest.approx(1.0), until
 
 
 class TestFairShareDisk:
